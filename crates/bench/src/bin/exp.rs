@@ -1,0 +1,44 @@
+//! Experiment runner: prints the tables of DESIGN.md §4.
+//!
+//! Usage: `cargo run -p codb-bench --release --bin exp -- [e1 … e12 | all]`
+
+use codb_bench::{all, by_id};
+
+/// `exp timeline [chain|ring|grid]` — render an update Gantt chart.
+fn timeline(kind: &str) {
+    use codb_core::CoDbNetwork;
+    use codb_net::SimConfig;
+    use codb_workload::{Scenario, Topology};
+    let topology = match kind {
+        "ring" => Topology::Ring(8),
+        "grid" => Topology::Grid { w: 4, h: 2 },
+        _ => Topology::Chain(8),
+    };
+    let s = Scenario { tuples_per_node: 100, ..Scenario::quick(topology) };
+    let mut net = CoDbNetwork::build(s.build_config(), SimConfig::default()).unwrap();
+    let o = net.run_update(s.sink());
+    println!("{}", codb_bench::render_timeline(&net.network_report(), o.update, 60));
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("timeline") {
+        timeline(args.get(1).map(String::as_str).unwrap_or("chain"));
+        return;
+    }
+    let tables = if args.is_empty() || args.iter().any(|a| a == "all") {
+        all()
+    } else {
+        args.iter()
+            .map(|id| {
+                by_id(id).unwrap_or_else(|| {
+                    eprintln!("unknown experiment {id:?} (use e1..e12 or all)");
+                    std::process::exit(1);
+                })
+            })
+            .collect()
+    };
+    for t in tables {
+        println!("{}", t.render());
+    }
+}

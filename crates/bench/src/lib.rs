@@ -1,0 +1,17 @@
+//! # codb-bench
+//!
+//! The benchmark harness regenerating every experiment of the coDB
+//! reproduction (DESIGN.md §4). [`experiments`] holds one function per
+//! experiment id; the `exp` binary prints the tables; the Criterion
+//! benches in `benches/` measure the host-time distributions of the same
+//! runs.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+pub mod timeline;
+
+pub use experiments::{all, by_id};
+pub use timeline::render_timeline;
+pub use table::Table;

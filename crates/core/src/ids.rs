@@ -1,0 +1,115 @@
+//! Identifiers used across the coDB protocols.
+
+use codb_net::PeerId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A coDB node identifier. Nodes sit 1:1 on network peers.
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct NodeId(pub u64);
+
+impl NodeId {
+    /// The network peer carrying this node.
+    pub fn peer(self) -> PeerId {
+        PeerId(self.0)
+    }
+}
+
+impl From<PeerId> for NodeId {
+    fn from(p: PeerId) -> Self {
+        NodeId(p.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of one global update: the initiating node plus a per-node
+/// sequence number. The paper generates these with JXTA ("all global update
+/// request messages carry the same unique identifier generated at the node
+/// which started the global update").
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct UpdateId {
+    /// Node that started the update.
+    pub origin: NodeId,
+    /// Per-origin sequence number.
+    pub seq: u64,
+}
+
+impl fmt::Display for UpdateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "upd[{}#{}]", self.origin, self.seq)
+    }
+}
+
+/// Identifier of one user query execution.
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct QueryId {
+    /// Node the user queried.
+    pub origin: NodeId,
+    /// Per-origin sequence number.
+    pub seq: u64,
+}
+
+impl fmt::Display for QueryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "qry[{}#{}]", self.origin, self.seq)
+    }
+}
+
+/// Identifier of one query-time fetch request (a node asking an
+/// acquaintance to execute one coordination rule on behalf of a query).
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ReqId {
+    /// The requesting node.
+    pub node: NodeId,
+    /// Per-node sequence number.
+    pub seq: u64,
+}
+
+impl fmt::Display for ReqId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "req[{}#{}]", self.node, self.seq)
+    }
+}
+
+/// Coordination rules are addressed by their (configuration-unique) name.
+pub type RuleName = String;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_peer_round_trip() {
+        let n = NodeId(7);
+        assert_eq!(n.peer(), PeerId(7));
+        assert_eq!(NodeId::from(PeerId(7)), n);
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(UpdateId { origin: NodeId(1), seq: 2 }.to_string(), "upd[n1#2]");
+        assert_eq!(QueryId { origin: NodeId(1), seq: 2 }.to_string(), "qry[n1#2]");
+        assert_eq!(ReqId { node: NodeId(1), seq: 2 }.to_string(), "req[n1#2]");
+    }
+
+    #[test]
+    fn update_ids_order_by_origin_then_seq() {
+        let a = UpdateId { origin: NodeId(1), seq: 9 };
+        let b = UpdateId { origin: NodeId(2), seq: 0 };
+        assert!(a < b);
+    }
+}

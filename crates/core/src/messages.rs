@@ -1,0 +1,319 @@
+//! The coDB wire protocol.
+//!
+//! Every message is an [`Envelope`]: an optional transport sequence number
+//! (present on all protocol messages; used by the reliable-delivery layer)
+//! plus a [`Body`]. Transport acknowledgements themselves are unsequenced.
+
+use crate::config::NetworkConfig;
+use crate::ids::{NodeId, ReqId, RuleName, UpdateId};
+use crate::stats::NodeReport;
+use codb_net::Payload;
+use codb_relational::{ConjunctiveQuery, RuleFiring};
+use serde::{Deserialize, Serialize};
+
+/// Message body.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum Body {
+    // ---- transport ----
+    /// Acknowledges receipt of the envelope with transport seq `seq`
+    /// (reliable-delivery layer; not a Dijkstra–Scholten signal).
+    Ack {
+        /// Acknowledged transport sequence number.
+        seq: u64,
+    },
+
+    // ---- global update (paper §2–3) ----
+    /// Flooded request starting / propagating a global update.
+    UpdateRequest {
+        /// The update.
+        update: UpdateId,
+    },
+    /// Query-dependent (scoped) update: the sender *demands* the data of
+    /// one coordination rule — the receiver activates that incoming link
+    /// and recursively demands what the rule's body needs. Unlike
+    /// [`Body::UpdateRequest`] this is not flooded; it follows the demand.
+    DemandLink {
+        /// The update.
+        update: UpdateId,
+        /// The demanded rule (an incoming link at the receiver).
+        rule: RuleName,
+    },
+    /// Rule firings pushed from a rule's source to its target.
+    UpdateData {
+        /// The update.
+        update: UpdateId,
+        /// The coordination rule (an outgoing link at the receiver).
+        rule: RuleName,
+        /// New firings (already deduplicated against the sender's
+        /// sent-cache for this link).
+        firings: Vec<RuleFiring>,
+        /// Length of the update propagation path that produced this batch
+        /// (the statistics module reports the longest such path).
+        hops: u64,
+    },
+    /// The source of `rule` tells the target that the incoming link is
+    /// closed: no further `UpdateData` will arrive on it.
+    LinkClosed {
+        /// The update.
+        update: UpdateId,
+        /// The rule whose link closed.
+        rule: RuleName,
+        /// How many `UpdateData` messages the source sent on this link.
+        /// Retransmission can deliver a lost data message *after* the
+        /// close notification; the target treats the link as closed only
+        /// once it has processed this many data messages.
+        data_msgs: u64,
+    },
+    /// Dijkstra–Scholten credit: the receiver's deficit for `update`
+    /// decreases by `credits`.
+    DsAck {
+        /// The update.
+        update: UpdateId,
+        /// Number of messages acknowledged.
+        credits: u64,
+    },
+    /// Flooded by the initiator once global quiescence is detected; forces
+    /// links still open (cyclic components) closed.
+    UpdateComplete {
+        /// The update.
+        update: UpdateId,
+    },
+
+    // ---- query-time answering (paper §1, §3) ----
+    /// Ask an acquaintance to execute `rule`'s body on behalf of a query.
+    /// `path` is the label of node ids the request has passed through; a
+    /// node does not extend the diffusion past nodes already in the label.
+    QueryRequest {
+        /// Fetch request id (unique per requester).
+        req: ReqId,
+        /// Rule to execute (an incoming link at the receiver).
+        rule: RuleName,
+        /// Diffusing-computation label.
+        path: Vec<NodeId>,
+    },
+    /// A (streaming) answer to a [`Body::QueryRequest`]: the paper's node
+    /// "answers it using local data immediately" and keeps streaming as
+    /// its own fetches return; `closed` marks the final instalment.
+    QueryAnswer {
+        /// The request being answered.
+        req: ReqId,
+        /// New rule firings since the previous instalment.
+        firings: Vec<RuleFiring>,
+        /// True on the final instalment for this request.
+        closed: bool,
+    },
+
+    // ---- super-peer administration (paper §4) ----
+    /// Super-peer broadcast of a (new) network configuration: each node
+    /// picks out its own rules, drops stale pipes, opens new ones.
+    RulesFile {
+        /// The configuration.
+        config: Box<NetworkConfig>,
+    },
+    /// Super-peer asks a node for its statistics.
+    StatsRequest,
+    /// A node's statistics report.
+    StatsReport {
+        /// The report.
+        report: Box<NodeReport>,
+    },
+
+    // ---- harness-injected control (the demo UI's buttons) ----
+    /// Start a global update at the receiving node.
+    StartUpdate,
+    /// Start a query-dependent (scoped) update at the receiving node,
+    /// materialising only data feeding the given relations.
+    StartScopedUpdate {
+        /// The relations the user's query reads.
+        relations: Vec<String>,
+    },
+    /// Run a network query at the receiving node.
+    StartQuery {
+        /// The user query (over the receiving node's schema).
+        query: Box<ConjunctiveQuery>,
+        /// Whether to fetch from acquaintances (query-time answering) or
+        /// answer purely locally.
+        fetch: bool,
+    },
+    /// Ask the receiving super-peer to collect statistics from all nodes.
+    CollectStats,
+    /// Ask the receiving super-peer to broadcast its configuration.
+    BroadcastRules,
+    /// Trigger the topology discovery procedure at the receiving node
+    /// (the demo UI's "start topology discovery"): refresh the node's view
+    /// of advertised peers, acquaintances or not.
+    TriggerDiscovery,
+}
+
+impl Body {
+    /// Approximate serialized size, for the simulator's bandwidth model and
+    /// the statistics module. Firing payloads dominate; control messages
+    /// are costed at small constants.
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            Body::Ack { .. } => 16,
+            Body::UpdateRequest { .. } => 32,
+            Body::DemandLink { .. } => 40,
+            Body::UpdateData { firings, .. } => {
+                48 + firings.iter().map(RuleFiring::size_bytes).sum::<usize>()
+            }
+            Body::LinkClosed { .. } => 40,
+            Body::DsAck { .. } => 32,
+            Body::UpdateComplete { .. } => 32,
+            Body::QueryRequest { path, .. } => 48 + path.len() * 8,
+            Body::QueryAnswer { firings, .. } => {
+                32 + firings.iter().map(RuleFiring::size_bytes).sum::<usize>()
+            }
+            Body::RulesFile { config } => config.approx_size_bytes(),
+            Body::StatsRequest => 16,
+            Body::StatsReport { .. } => 256,
+            Body::StartUpdate
+            | Body::StartScopedUpdate { .. }
+            | Body::StartQuery { .. }
+            | Body::CollectStats
+            | Body::BroadcastRules
+            | Body::TriggerDiscovery => 16,
+        }
+    }
+
+    /// The update this message belongs to, if any.
+    pub fn update_id(&self) -> Option<UpdateId> {
+        match self {
+            Body::UpdateRequest { update }
+            | Body::DemandLink { update, .. }
+            | Body::UpdateData { update, .. }
+            | Body::LinkClosed { update, .. }
+            | Body::DsAck { update, .. }
+            | Body::UpdateComplete { update } => Some(*update),
+            _ => None,
+        }
+    }
+
+    /// True for messages counted by the Dijkstra–Scholten deficit: the
+    /// update messages that can trigger further work at the receiver.
+    pub fn is_ds_counted(&self) -> bool {
+        matches!(
+            self,
+            Body::UpdateRequest { .. }
+                | Body::DemandLink { .. }
+                | Body::UpdateData { .. }
+                | Body::LinkClosed { .. }
+        )
+    }
+
+    /// Short tag for per-kind statistics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Body::Ack { .. } => "ack",
+            Body::UpdateRequest { .. } => "update_request",
+            Body::DemandLink { .. } => "demand_link",
+            Body::UpdateData { .. } => "update_data",
+            Body::LinkClosed { .. } => "link_closed",
+            Body::DsAck { .. } => "ds_ack",
+            Body::UpdateComplete { .. } => "update_complete",
+            Body::QueryRequest { .. } => "query_request",
+            Body::QueryAnswer { .. } => "query_answer",
+            Body::RulesFile { .. } => "rules_file",
+            Body::StatsRequest => "stats_request",
+            Body::StatsReport { .. } => "stats_report",
+            Body::StartUpdate => "start_update",
+            Body::StartScopedUpdate { .. } => "start_scoped_update",
+            Body::StartQuery { .. } => "start_query",
+            Body::CollectStats => "collect_stats",
+            Body::BroadcastRules => "broadcast_rules",
+            Body::TriggerDiscovery => "trigger_discovery",
+        }
+    }
+}
+
+/// A protocol message: transport header + body.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Envelope {
+    /// Transport sequence number; `None` only for [`Body::Ack`] and
+    /// harness-injected control messages.
+    pub seq: Option<u64>,
+    /// The payload.
+    pub body: Body,
+}
+
+impl Envelope {
+    /// An unsequenced control envelope (harness injection / acks).
+    pub fn control(body: Body) -> Self {
+        Envelope { seq: None, body }
+    }
+}
+
+impl Payload for Envelope {
+    fn size_bytes(&self) -> usize {
+        8 + self.body.size_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn upd() -> UpdateId {
+        UpdateId { origin: NodeId(1), seq: 0 }
+    }
+
+    #[test]
+    fn ds_counting_covers_work_messages() {
+        assert!(Body::UpdateRequest { update: upd() }.is_ds_counted());
+        assert!(Body::UpdateData {
+            update: upd(),
+            rule: "r".into(),
+            firings: vec![],
+            hops: 1
+        }
+        .is_ds_counted());
+        assert!(Body::LinkClosed { update: upd(), rule: "r".into(), data_msgs: 0 }.is_ds_counted());
+        assert!(!Body::DsAck { update: upd(), credits: 1 }.is_ds_counted());
+        assert!(!Body::UpdateComplete { update: upd() }.is_ds_counted());
+        assert!(!Body::Ack { seq: 3 }.is_ds_counted());
+        assert!(!Body::StatsRequest.is_ds_counted());
+    }
+
+    #[test]
+    fn update_id_extraction() {
+        assert_eq!(Body::UpdateComplete { update: upd() }.update_id(), Some(upd()));
+        assert_eq!(Body::StatsRequest.update_id(), None);
+    }
+
+    #[test]
+    fn sizes_scale_with_firings() {
+        let small = Body::UpdateData {
+            update: upd(),
+            rule: "r".into(),
+            firings: vec![],
+            hops: 1,
+        };
+        let firing = codb_relational::RuleFiring {
+            atoms: vec![("t".into(), vec![codb_relational::TField::Const(
+                codb_relational::Value::Int(1),
+            )])],
+        };
+        let big = Body::UpdateData {
+            update: upd(),
+            rule: "r".into(),
+            firings: vec![firing],
+            hops: 1,
+        };
+        assert!(big.size_bytes() > small.size_bytes());
+        assert!(Envelope::control(Body::StatsRequest).size_bytes() >= 16);
+    }
+
+    #[test]
+    fn kinds_are_distinct_for_update_protocol() {
+        let kinds = [
+            Body::UpdateRequest { update: upd() }.kind(),
+            Body::UpdateData { update: upd(), rule: "r".into(), firings: vec![], hops: 0 }
+                .kind(),
+            Body::LinkClosed { update: upd(), rule: "r".into(), data_msgs: 0 }.kind(),
+            Body::DsAck { update: upd(), credits: 1 }.kind(),
+            Body::UpdateComplete { update: upd() }.kind(),
+        ];
+        let set: std::collections::BTreeSet<_> = kinds.into_iter().collect();
+        assert_eq!(set.len(), 5);
+    }
+}

@@ -1,0 +1,301 @@
+//! The simulation harness: builds a coDB network from a configuration,
+//! injects user actions (the demo UI's buttons), runs the simulator to
+//! quiescence and extracts results and reports.
+
+use crate::config::{ConfigError, NetworkConfig};
+use crate::ids::{NodeId, QueryId, UpdateId};
+use crate::messages::{Body, Envelope};
+use crate::node::{CoDbNode, NodeSettings};
+use crate::query::QueryResult;
+use crate::stats::{NetworkReport, UpdateSummary};
+use codb_net::{PeerId, SimConfig, SimNet, SimTime};
+use codb_relational::{parse_query, ConjunctiveQuery};
+
+/// Peer id used by the harness when injecting control messages.
+pub const HARNESS_PEER: PeerId = PeerId(u64::MAX);
+
+/// Outcome of one global update run.
+#[derive(Clone, Debug)]
+pub struct UpdateOutcome {
+    /// The update's id.
+    pub update: UpdateId,
+    /// Simulated time from injection to network quiescence.
+    pub duration: SimTime,
+    /// Protocol messages sent during the run (all kinds, acks included).
+    pub messages: u64,
+    /// Payload bytes sent during the run.
+    pub bytes: u64,
+    /// Aggregated per-node statistics for this update.
+    pub summary: UpdateSummary,
+}
+
+/// Outcome of one query run.
+#[derive(Clone, Debug)]
+pub struct QueryOutcome {
+    /// The query's id.
+    pub query: QueryId,
+    /// The result as delivered to the user.
+    pub result: QueryResult,
+    /// Simulated time from injection to network quiescence.
+    pub duration: SimTime,
+    /// Protocol messages sent during the run.
+    pub messages: u64,
+    /// Payload bytes sent during the run.
+    pub bytes: u64,
+}
+
+/// A built coDB network running on the deterministic simulator.
+pub struct CoDbNetwork {
+    sim: SimNet<Envelope, CoDbNode>,
+    config: NetworkConfig,
+    superpeer: Option<NodeId>,
+}
+
+impl CoDbNetwork {
+    /// Builds the network from `config` (one peer per declared node, pipes
+    /// opened per coordination rule) and runs the start events.
+    pub fn build(config: NetworkConfig, sim_config: SimConfig) -> Result<Self, ConfigError> {
+        Self::build_with(config, sim_config, NodeSettings::default(), false)
+    }
+
+    /// [`CoDbNetwork::build`] plus a super-peer holding the configuration
+    /// (one extra peer with pipes to every node).
+    pub fn build_with_superpeer(
+        config: NetworkConfig,
+        sim_config: SimConfig,
+    ) -> Result<Self, ConfigError> {
+        Self::build_with(config, sim_config, NodeSettings::default(), true)
+    }
+
+    /// Fully parameterised build.
+    pub fn build_with(
+        config: NetworkConfig,
+        sim_config: SimConfig,
+        settings: NodeSettings,
+        with_superpeer: bool,
+    ) -> Result<Self, ConfigError> {
+        config.validate()?;
+        let mut sim = SimNet::new(sim_config);
+        for nc in &config.nodes {
+            let node = CoDbNode::new(
+                nc.id,
+                &nc.name,
+                nc.schema.clone(),
+                nc.data.clone(),
+                &config.rules,
+                settings.clone(),
+            );
+            sim.add_peer(nc.id.peer(), node);
+        }
+        let superpeer = if with_superpeer {
+            let id = NodeId(config.nodes.iter().map(|n| n.id.0 + 1).max().unwrap_or(0));
+            let node = CoDbNode::new(
+                id,
+                "super-peer",
+                codb_relational::DatabaseSchema::new(),
+                Vec::new(),
+                &[],
+                settings,
+            )
+            .with_superpeer_config(config.clone());
+            sim.add_peer(id.peer(), node);
+            Some(id)
+        } else {
+            None
+        };
+        let mut net = CoDbNetwork { sim, config, superpeer };
+        net.sim.run_until_quiescent(); // process start events (pipes, adverts)
+        Ok(net)
+    }
+
+    /// The underlying simulator (for failure injection and inspection).
+    pub fn sim(&self) -> &SimNet<Envelope, CoDbNode> {
+        &self.sim
+    }
+
+    /// Mutable simulator access.
+    pub fn sim_mut(&mut self) -> &mut SimNet<Envelope, CoDbNode> {
+        &mut self.sim
+    }
+
+    /// The configuration the network was built from.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.config
+    }
+
+    /// The super-peer's id, if one was created.
+    pub fn superpeer(&self) -> Option<NodeId> {
+        self.superpeer
+    }
+
+    /// Borrow a node.
+    pub fn node(&self, id: NodeId) -> &CoDbNode {
+        self.sim.peer(id.peer()).expect("node exists")
+    }
+
+    /// Resolve a node by configuration name.
+    pub fn node_id(&self, name: &str) -> Option<NodeId> {
+        self.config.node_by_name(name).map(|n| n.id)
+    }
+
+    /// Injects a control message and runs the network to quiescence.
+    pub fn run_control(&mut self, to: NodeId, body: Body) -> SimTime {
+        let t0 = self.sim.now();
+        self.sim.inject(HARNESS_PEER, to.peer(), Envelope::control(body));
+        self.sim.run_until_quiescent();
+        self.sim.now().saturating_sub(t0)
+    }
+
+    /// Starts a global update at `origin` and runs to quiescence.
+    pub fn run_update(&mut self, origin: NodeId) -> UpdateOutcome {
+        let seq = self.node(origin).update_state_seq();
+        let update = UpdateId { origin, seq };
+        let (m0, b0) = (self.sim.stats().sent, self.sim.stats().bytes_sent);
+        self.run_control(origin, Body::StartUpdate);
+        let stats = self.sim.stats();
+        let summary = self
+            .network_report()
+            .summarise(update)
+            .expect("update ran on at least the origin");
+        UpdateOutcome {
+            update,
+            // Message-driven duration (first start to last close), so idle
+            // retransmission timers waiting out their deadline after the
+            // work is done don't inflate the measurement.
+            duration: summary.total_time,
+            // Exclude the injected control message itself.
+            messages: stats.sent - m0 - 1,
+            bytes: stats.bytes_sent - b0,
+            summary,
+        }
+    }
+
+    /// Starts a query-dependent (scoped) update at `origin`: only data
+    /// feeding `relations` is materialised. Returns the outcome.
+    pub fn run_scoped_update(
+        &mut self,
+        origin: NodeId,
+        relations: Vec<String>,
+    ) -> UpdateOutcome {
+        let seq = self.node(origin).update_state_seq();
+        let update = UpdateId { origin, seq };
+        let (m0, b0) = (self.sim.stats().sent, self.sim.stats().bytes_sent);
+        self.run_control(origin, Body::StartScopedUpdate { relations });
+        let stats = self.sim.stats();
+        let summary = self
+            .network_report()
+            .summarise(update)
+            .expect("update ran on at least the origin");
+        UpdateOutcome {
+            update,
+            duration: summary.total_time,
+            messages: stats.sent - m0 - 1,
+            bytes: stats.bytes_sent - b0,
+            summary,
+        }
+    }
+
+    /// Runs a query at `node`; `fetch` selects query-time network
+    /// answering vs. a purely local answer.
+    pub fn run_query(
+        &mut self,
+        node: NodeId,
+        query: ConjunctiveQuery,
+        fetch: bool,
+    ) -> QueryOutcome {
+        let seq = self.node(node).query_seq();
+        let query_id = QueryId { origin: node, seq };
+        let (m0, b0) = (self.sim.stats().sent, self.sim.stats().bytes_sent);
+        let t0 = self.sim.now();
+        self.run_control(node, Body::StartQuery { query: Box::new(query), fetch });
+        let stats = self.sim.stats();
+        let result = self
+            .node(node)
+            .completed_queries
+            .get(&query_id)
+            .cloned()
+            .expect("query completed at quiescence");
+        QueryOutcome {
+            query: query_id,
+            // Time until the answer was assembled (not until the last idle
+            // retransmission timer drained).
+            duration: result.finished_at.saturating_sub(t0),
+            result,
+            // Exclude the injected control message itself.
+            messages: stats.sent - m0 - 1,
+            bytes: stats.bytes_sent - b0,
+        }
+    }
+
+    /// [`CoDbNetwork::run_query`] from query text.
+    pub fn run_query_text(
+        &mut self,
+        node: NodeId,
+        query: &str,
+        fetch: bool,
+    ) -> Result<QueryOutcome, codb_relational::ParseError> {
+        Ok(self.run_query(node, parse_query(query)?, fetch))
+    }
+
+    /// Super-peer: re-broadcast a (new) configuration, reconfiguring every
+    /// node's rules and pipes at runtime.
+    pub fn broadcast_rules(&mut self, config: NetworkConfig) -> Result<SimTime, ConfigError> {
+        config.validate()?;
+        let sp = self.superpeer.expect("network built with a super-peer");
+        self.config = config.clone();
+        self.sim
+            .peer_mut(sp.peer())
+            .expect("super-peer exists")
+            .set_superpeer_config(config);
+        Ok(self.run_control(sp, Body::BroadcastRules))
+    }
+
+    /// Super-peer: collect statistics from every node over the network and
+    /// return the aggregated report.
+    pub fn collect_stats(&mut self) -> NetworkReport {
+        let sp = self.superpeer.expect("network built with a super-peer");
+        self.run_control(sp, Body::CollectStats);
+        self.node(sp).collected.clone()
+    }
+
+    /// Harness shortcut: assemble the network report by reading every
+    /// node's statistics module directly (no messages). The super-peer path
+    /// ([`CoDbNetwork::collect_stats`]) is validated against this in tests.
+    pub fn network_report(&self) -> NetworkReport {
+        let mut report = NetworkReport::default();
+        for (_, node) in self.sim.peers() {
+            if Some(node.id) == self.superpeer {
+                continue;
+            }
+            let mut r = node.report().clone();
+            r.ldb_tuples = node.ldb().tuple_count() as u64;
+            report.ingest(r);
+        }
+        report
+    }
+
+    /// Total tuples across all node LDBs.
+    pub fn total_tuples(&self) -> usize {
+        self.sim
+            .peers()
+            .map(|(_, n)| n.ldb().tuple_count())
+            .sum()
+    }
+}
+
+impl CoDbNode {
+    /// Next update sequence number (harness peek).
+    pub(crate) fn update_state_seq(&self) -> u64 {
+        self.next_update_seq
+    }
+
+    /// Next query sequence number (harness peek).
+    pub(crate) fn query_seq(&self) -> u64 {
+        self.next_query_seq
+    }
+
+    /// Replaces the super-peer configuration (harness only).
+    pub(crate) fn set_superpeer_config(&mut self, config: NetworkConfig) {
+        self.superpeer_config = Some(config);
+    }
+}

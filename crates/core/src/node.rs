@@ -1,0 +1,355 @@
+//! The coDB node: Local Database + Database Schema + P2P layer.
+//!
+//! One [`CoDbNode`] is the paper's Figure-1 stack: the LDB/Wrapper role is
+//! played by a [`codb_relational::Instance`], the Database Manager by the
+//! dispatch in this module plus the update ([`crate::update`]) and query
+//! ([`crate::query`]) engines, and the JXTA layer by whichever
+//! `codb-net` runtime hosts the node. The "UI" is the public API invoked
+//! by harness-injected control messages.
+
+use crate::config::NetworkConfig;
+use crate::ids::{NodeId, QueryId, ReqId, RuleName, UpdateId};
+use crate::messages::{Body, Envelope};
+use crate::query::{QueryExec, QueryResult, Serving};
+use crate::reliable::Reliable;
+use crate::rules::{CoordinationRule, RuleBook};
+use crate::stats::{NetworkReport, NodeReport};
+use crate::update::UpdateState;
+use codb_net::{Context, Peer, PeerId, PipeConfig, SimTime};
+use codb_relational::{
+    ConjunctiveQuery, DatabaseSchema, Instance, NullFactory, Tuple,
+};
+use std::collections::BTreeMap;
+
+/// Tunables of one node.
+#[derive(Clone, Debug)]
+pub struct NodeSettings {
+    /// ARQ retransmission interval.
+    pub retransmit_after: SimTime,
+    /// Chase-depth safety valve: `UpdateData` whose propagation path would
+    /// exceed this many hops is not propagated further (guards against
+    /// non-weakly-acyclic rule sets whose chase diverges; DESIGN.md §3).
+    pub max_hops: u64,
+    /// Pipe parameters used when this node opens pipes to acquaintances.
+    pub pipe: PipeConfig,
+    /// Keep sender-side per-link firing caches across updates, so a
+    /// repeated global update only ships data that is genuinely new
+    /// (receiver-side template dedup is always cross-update — correctness
+    /// requires it for GLAV rules). Ablation: experiment E15.
+    pub incremental_updates: bool,
+}
+
+impl Default for NodeSettings {
+    fn default() -> Self {
+        NodeSettings {
+            retransmit_after: SimTime::from_millis(250),
+            max_hops: 100_000,
+            pipe: PipeConfig::lan(),
+            incremental_updates: true,
+        }
+    }
+}
+
+/// Timer id used by the retransmission loop.
+pub(crate) const TIMER_RETRANSMIT: u64 = 1;
+
+/// A coDB database peer.
+pub struct CoDbNode {
+    /// This node's identity.
+    pub id: NodeId,
+    /// Human-readable name (from the configuration file).
+    pub name: String,
+    pub(crate) ldb: Instance,
+    pub(crate) schema: DatabaseSchema,
+    pub(crate) nulls: NullFactory,
+    pub(crate) book: RuleBook,
+    pub(crate) settings: NodeSettings,
+    pub(crate) config_version: u64,
+    pub(crate) reliable: Reliable,
+    pub(crate) retransmit_armed: bool,
+    // ---- update engine ----
+    pub(crate) updates: BTreeMap<UpdateId, UpdateState>,
+    pub(crate) next_update_seq: u64,
+    /// Sender-side per-link firing caches; keyed by `(rule, None)` in
+    /// incremental mode, `(rule, Some(update))` otherwise.
+    pub(crate) sent_cache:
+        BTreeMap<(RuleName, Option<UpdateId>), std::collections::BTreeSet<codb_relational::RuleFiring>>,
+    /// Receiver-side per-link template caches (always cross-update).
+    pub(crate) recv_cache:
+        BTreeMap<RuleName, std::collections::BTreeSet<codb_relational::RuleFiring>>,
+    // ---- query engine ----
+    pub(crate) next_query_seq: u64,
+    pub(crate) next_req_seq: u64,
+    pub(crate) queries: BTreeMap<QueryId, QueryExec>,
+    pub(crate) serving: BTreeMap<ReqId, Serving>,
+    pub(crate) nested_parent: BTreeMap<ReqId, crate::query::ParentRef>,
+    /// Finished query results, for the harness to collect.
+    pub completed_queries: BTreeMap<QueryId, QueryResult>,
+    /// Peers discovered on the advertisement board (Figure 3 of the
+    /// paper: "which other nodes (not acquaintances) it has discovered").
+    pub discovered: std::collections::BTreeSet<NodeId>,
+    // ---- statistics module ----
+    pub(crate) report: NodeReport,
+    // ---- super-peer role ----
+    pub(crate) superpeer_config: Option<NetworkConfig>,
+    /// Statistics collected from the network (super-peer only).
+    pub collected: NetworkReport,
+}
+
+impl CoDbNode {
+    /// Creates a node with the given shared schema, seed data and the rules
+    /// it participates in.
+    pub fn new(
+        id: NodeId,
+        name: impl Into<String>,
+        schema: DatabaseSchema,
+        data: Vec<(String, Tuple)>,
+        rules: &[CoordinationRule],
+        settings: NodeSettings,
+    ) -> Self {
+        let mut ldb = Instance::with_schema(&schema);
+        for (rel, tuple) in data {
+            ldb.insert(&rel, tuple).expect("seed data validated by config");
+        }
+        let retransmit_after = settings.retransmit_after;
+        CoDbNode {
+            id,
+            name: name.into(),
+            ldb,
+            schema,
+            nulls: NullFactory::new(id.0),
+            book: RuleBook::for_node(id, rules),
+            settings,
+            config_version: 0,
+            reliable: Reliable::new(retransmit_after),
+            retransmit_armed: false,
+            updates: BTreeMap::new(),
+            next_update_seq: 0,
+            sent_cache: BTreeMap::new(),
+            recv_cache: BTreeMap::new(),
+            next_query_seq: 0,
+            next_req_seq: 0,
+            queries: BTreeMap::new(),
+            serving: BTreeMap::new(),
+            nested_parent: BTreeMap::new(),
+            completed_queries: BTreeMap::new(),
+            discovered: std::collections::BTreeSet::new(),
+            report: NodeReport::new(id),
+            superpeer_config: None,
+            collected: NetworkReport::default(),
+        }
+    }
+
+    /// Marks this node as the super-peer holding `config`.
+    pub fn with_superpeer_config(mut self, config: NetworkConfig) -> Self {
+        self.superpeer_config = Some(config);
+        self
+    }
+
+    /// The Local Database.
+    pub fn ldb(&self) -> &Instance {
+        &self.ldb
+    }
+
+    /// The shared Database Schema.
+    pub fn schema(&self) -> &DatabaseSchema {
+        &self.schema
+    }
+
+    /// This node's rule book (links).
+    pub fn rule_book(&self) -> &RuleBook {
+        &self.book
+    }
+
+    /// The statistics module's current report ("each node maintains a
+    /// global update processing report and makes it available for the user
+    /// on request").
+    pub fn report(&self) -> &NodeReport {
+        &self.report
+    }
+
+    /// Answers a query purely from the LDB, without touching the network —
+    /// what a local query costs *after* a global update has materialised
+    /// everything.
+    pub fn local_answer(
+        &self,
+        query: &ConjunctiveQuery,
+    ) -> Result<Vec<Tuple>, codb_relational::eval::EvalError> {
+        codb_relational::answer_query(query, &self.ldb)
+    }
+
+    /// The update state for `update`, if this node has seen it.
+    pub fn update_state(&self, update: UpdateId) -> Option<&UpdateState> {
+        self.updates.get(&update)
+    }
+
+    /// Captures a durable snapshot of the LDB plus the null factory (see
+    /// [`codb_relational::Snapshot`]).
+    pub fn snapshot(&self) -> codb_relational::Snapshot {
+        codb_relational::Snapshot::capture(&self.ldb, &self.nulls)
+    }
+
+    /// Restores a snapshot, replacing the LDB and null-factory state.
+    pub fn restore(&mut self, snapshot: codb_relational::Snapshot) {
+        self.ldb = snapshot.instance;
+        self.nulls = snapshot.nulls;
+    }
+
+    /// Local write (the demo UI's data entry): inserts one tuple into the
+    /// LDB. The data propagates on the next global update.
+    pub fn insert_local(
+        &mut self,
+        relation: &str,
+        tuple: Tuple,
+    ) -> Result<bool, codb_relational::SchemaError> {
+        self.ldb.insert(relation, tuple)
+    }
+
+    // ---- plumbing shared by the engines ----
+
+    /// Sends `body` to `to` reliably: assigns a transport seq, records the
+    /// message for retransmission, bumps Dijkstra–Scholten deficit when
+    /// applicable, counts statistics, arms the retransmit timer.
+    pub(crate) fn post(&mut self, ctx: &mut Context<Envelope>, to: NodeId, body: Body) {
+        if body.is_ds_counted() {
+            if let Some(u) = body.update_id() {
+                let now = ctx.now();
+                let st = self
+                    .updates
+                    .entry(u)
+                    .or_insert_with(|| UpdateState::new(u, now));
+                st.deficit += 1;
+            }
+        }
+        self.report.count_sent(body.kind());
+        let env = self.reliable.wrap(to, body);
+        ctx.send(to.peer(), env);
+        self.arm_retransmit(ctx);
+    }
+
+    /// Sends an unsequenced transport ack.
+    pub(crate) fn post_ack(&mut self, ctx: &mut Context<Envelope>, to: NodeId, seq: u64) {
+        self.report.count_sent("ack");
+        ctx.send(to.peer(), Envelope::control(Body::Ack { seq }));
+    }
+
+    pub(crate) fn arm_retransmit(&mut self, ctx: &mut Context<Envelope>) {
+        if !self.retransmit_armed && self.reliable.has_outstanding() {
+            self.retransmit_armed = true;
+            ctx.set_timer(self.settings.retransmit_after, TIMER_RETRANSMIT);
+        }
+    }
+
+    /// Opens pipes to all acquaintances (the paper's topology discovery:
+    /// pipes are created per coordination rule, and several rules w.r.t.
+    /// the same node share one pipe).
+    fn open_acquaintance_pipes(&mut self, ctx: &mut Context<Envelope>) {
+        for acq in self.book.acquaintances(self.id) {
+            ctx.open_pipe(acq.peer(), self.settings.pipe);
+        }
+    }
+}
+
+impl Peer<Envelope> for CoDbNode {
+    fn on_start(&mut self, ctx: &mut Context<Envelope>) {
+        ctx.advertise(codb_net::Advertisement::peer(self.id.peer(), "codb-node"));
+        if self.superpeer_config.is_some() {
+            ctx.advertise(codb_net::Advertisement::service(
+                self.id.peer(),
+                "super-peer",
+            ));
+            // The super-peer keeps a pipe to every declared node so it can
+            // broadcast rule files and collect statistics.
+            let ids: Vec<NodeId> = self
+                .superpeer_config
+                .as_ref()
+                .map(|c| c.node_ids())
+                .unwrap_or_default();
+            for id in ids {
+                if id != self.id {
+                    ctx.open_pipe(id.peer(), self.settings.pipe);
+                }
+            }
+        }
+        self.open_acquaintance_pipes(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<Envelope>, from: PeerId, env: Envelope) {
+        let from = NodeId::from(from);
+        self.report.count_received(env.body.kind());
+
+        // Transport ack: retire and done.
+        if let Body::Ack { seq } = env.body {
+            self.reliable.on_ack(seq);
+            return;
+        }
+        // Ack every sequenced message, then drop duplicates.
+        if let Some(seq) = env.seq {
+            self.post_ack(ctx, from, seq);
+            if !self.reliable.should_process(from, Some(seq)) {
+                return;
+            }
+        }
+
+        match env.body {
+            Body::Ack { .. } => unreachable!("handled above"),
+            // ---- update protocol (crate::update) ----
+            Body::UpdateRequest { .. }
+            | Body::DemandLink { .. }
+            | Body::UpdateData { .. }
+            | Body::LinkClosed { .. } => self.dispatch_ds(ctx, from, env.body),
+            Body::DsAck { update, credits } => self.handle_ds_ack(ctx, update, credits),
+            Body::UpdateComplete { update } => self.handle_update_complete(ctx, from, update),
+            // ---- query protocol (crate::query) ----
+            Body::QueryRequest { req, rule, path } => {
+                self.handle_query_request(ctx, from, req, rule, path)
+            }
+            Body::QueryAnswer { req, firings, closed } => {
+                self.handle_query_answer(ctx, from, req, firings, closed)
+            }
+            // ---- super-peer / admin (crate::superpeer) ----
+            Body::RulesFile { config } => self.handle_rules_file(ctx, *config),
+            Body::StatsRequest => self.handle_stats_request(ctx, from),
+            Body::StatsReport { report } => self.collected.ingest(*report),
+            // ---- harness control ----
+            Body::StartUpdate => self.start_update(ctx),
+            Body::StartScopedUpdate { relations } => {
+                self.start_scoped_update(ctx, relations)
+            }
+            Body::StartQuery { query, fetch } => self.start_query(ctx, *query, fetch),
+            Body::CollectStats => self.handle_collect_stats(ctx),
+            Body::BroadcastRules => self.handle_broadcast_rules(ctx),
+            Body::TriggerDiscovery => {
+                for ad in ctx.discover() {
+                    self.discovered.insert(NodeId::from(ad.peer));
+                }
+                self.discovered.remove(&self.id);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<Envelope>, timer: u64) {
+        if timer == TIMER_RETRANSMIT {
+            self.retransmit_armed = false;
+            let (resend, abandoned) = self.reliable.retransmission_round();
+            for (to, env) in resend {
+                self.report.count_sent("retransmit");
+                ctx.send(to.peer(), env);
+            }
+            for o in abandoned {
+                // The peer is presumed crashed. Update messages it will
+                // never process cannot be DS-credited back: surrender the
+                // deficit so this node can still disengage (the update may
+                // complete without the dead peer's subtree — the documented
+                // crash semantics, DESIGN.md §3).
+                self.report.count_sent("abandoned");
+                if o.body.is_ds_counted() {
+                    if let Some(u) = o.body.update_id() {
+                        self.handle_ds_ack(ctx, u, 1);
+                    }
+                }
+            }
+            self.arm_retransmit(ctx);
+        }
+    }
+}

@@ -1,0 +1,363 @@
+//! Query-time distributed answering (paper §1, §3).
+//!
+//! "When \[a\] node gets a query request, it answers it using local data
+//! immediately, and it forwards it through all outgoing links. Each query
+//! request is labelled by a sequence of IDs of nodes it passed through. A
+//! node does not propagate a query request, if its ID is contained in the
+//! label" — a diffusing computation over *simple paths*.
+//!
+//! Concretely: a user query at node `N` spawns one fetch request per
+//! outgoing link whose head feeds a relation the query reads. The source
+//! of such a link recursively fetches whatever its own rule body needs
+//! (path-labelled, so cycles cut off), evaluates the rule body over its
+//! *query-time view* (LDB + fetched data, assembled in a per-request
+//! overlay — nothing is materialised permanently), and returns the rule
+//! firings in a single `QueryAnswer`. `N` assembles the answers into its
+//! own overlay and evaluates the user query there.
+//!
+//! Query-time answering under cyclic rules is *sound but not complete*
+//! w.r.t. the global-update fixpoint (simple paths unroll each cycle at
+//! most once) — which is precisely the paper's case for batch updates.
+
+use crate::ids::{NodeId, QueryId, ReqId, RuleName};
+use crate::messages::{Body, Envelope};
+use crate::node::CoDbNode;
+use codb_net::{Context, SimTime};
+use codb_relational::{ConjunctiveQuery, Instance, RuleFiring, Tuple};
+use std::collections::BTreeSet;
+
+/// A finished query, as handed to the user.
+#[derive(Clone, Debug)]
+pub struct QueryResult {
+    /// The query id.
+    pub query: QueryId,
+    /// All answers (may contain marked nulls from existential rules).
+    pub answers: Vec<Tuple>,
+    /// Answers with no marked nulls (certain answers).
+    pub certain: Vec<Tuple>,
+    /// When the answer was assembled.
+    pub finished_at: SimTime,
+    /// Whether the network was consulted.
+    pub fetched: bool,
+}
+
+/// State of one user query at its origin node.
+#[derive(Debug)]
+pub(crate) struct QueryExec {
+    pub query: ConjunctiveQuery,
+    /// Clones of the relations the query reads + the head relations of the
+    /// links fetched; never touches the LDB.
+    pub overlay: Instance,
+    pub pending: BTreeSet<ReqId>,
+}
+
+/// State of one fetch request this node is serving for an acquaintance.
+#[derive(Debug)]
+pub(crate) struct Serving {
+    /// The requester's request id (globally unique).
+    pub req: ReqId,
+    pub requester: NodeId,
+    /// The incoming link being executed.
+    pub rule: RuleName,
+    pub overlay: Instance,
+    pub pending: BTreeSet<ReqId>,
+    /// Firings already streamed to the requester (instalment diffing).
+    pub sent: BTreeSet<codb_relational::RuleFiring>,
+}
+
+/// Who a nested fetch request was issued for.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum ParentRef {
+    /// A user query at this node.
+    Query(QueryId),
+    /// A fetch request this node is serving (key into `serving`).
+    Serving(ReqId),
+}
+
+impl CoDbNode {
+    /// Builds an overlay instance holding clones of `relations` (those that
+    /// exist locally; missing ones are skipped — validation happens at rule
+    /// level).
+    fn overlay_for(&self, relations: &BTreeSet<String>) -> Instance {
+        let mut overlay = Instance::new();
+        for name in relations {
+            if let Some(rel) = self.ldb.get(name) {
+                overlay.insert_relation(rel.clone());
+            }
+        }
+        overlay
+    }
+
+    /// Outgoing links whose head writes any of `relations`, excluding links
+    /// whose source already appears in `path`.
+    fn fetchable_links(
+        &self,
+        relations: &BTreeSet<String>,
+        path: &[NodeId],
+    ) -> Vec<(RuleName, NodeId)> {
+        self.book
+            .outgoing
+            .iter()
+            .filter(|(_, r)| {
+                r.rule
+                    .head_relations()
+                    .iter()
+                    .any(|h| relations.contains(*h))
+            })
+            .filter(|(_, r)| !path.contains(&r.source))
+            .map(|(name, r)| (name.clone(), r.source))
+            .collect()
+    }
+
+    /// Relations an overlay needs: the reader's body relations plus the
+    /// head relations of every link fetched into it.
+    fn overlay_relations(
+        &self,
+        base: BTreeSet<String>,
+        links: &[(RuleName, NodeId)],
+    ) -> BTreeSet<String> {
+        let mut rels = base;
+        for (name, _) in links {
+            for h in self.book.outgoing[name].rule.head_relations() {
+                rels.insert(h.to_owned());
+            }
+        }
+        rels
+    }
+
+    fn next_req(&mut self) -> ReqId {
+        let req = ReqId { node: self.id, seq: self.next_req_seq };
+        self.next_req_seq += 1;
+        req
+    }
+
+    /// User entry point: run `query` at this node; `fetch` chooses between
+    /// query-time network answering and a purely local answer.
+    pub(crate) fn start_query(
+        &mut self,
+        ctx: &mut Context<Envelope>,
+        query: ConjunctiveQuery,
+        fetch: bool,
+    ) {
+        let query_id = QueryId { origin: self.id, seq: self.next_query_seq };
+        self.next_query_seq += 1;
+        let now = ctx.now();
+        self.report
+            .queries
+            .insert(query_id, crate::stats::QueryReport::new(query_id, now));
+
+        if !fetch {
+            let answers = self.local_answer(&query).unwrap_or_default();
+            self.finish_query_with(query_id, answers, now, false);
+            return;
+        }
+
+        let body_rels: BTreeSet<String> =
+            query.body.relations().into_iter().map(str::to_owned).collect();
+        let links = self.fetchable_links(&body_rels, &[self.id]);
+        let overlay_rels = self.overlay_relations(body_rels, &links);
+        let overlay = self.overlay_for(&overlay_rels);
+
+        let mut pending = BTreeSet::new();
+        for (rule, source) in links {
+            let req = self.next_req();
+            pending.insert(req);
+            self.nested_parent.insert(req, ParentRef::Query(query_id));
+            if let Some(rep) = self.report.queries.get_mut(&query_id) {
+                rep.requests_sent += 1;
+            }
+            self.post(
+                ctx,
+                source,
+                Body::QueryRequest { req, rule, path: vec![self.id] },
+            );
+        }
+        let exec = QueryExec { query, overlay, pending };
+        if exec.pending.is_empty() {
+            let answers =
+                codb_relational::answer_query(&exec.query, &exec.overlay).unwrap_or_default();
+            self.finish_query_with(query_id, answers, now, true);
+        } else {
+            self.queries.insert(query_id, exec);
+        }
+    }
+
+    fn finish_query_with(
+        &mut self,
+        query_id: QueryId,
+        answers: Vec<Tuple>,
+        now: SimTime,
+        fetched: bool,
+    ) {
+        if let Some(rep) = self.report.queries.get_mut(&query_id) {
+            rep.finished_at = Some(now);
+            rep.answers = answers.len() as u64;
+        }
+        let certain = answers.iter().filter(|t| !t.has_null()).cloned().collect();
+        self.completed_queries.insert(
+            query_id,
+            QueryResult { query: query_id, answers, certain, finished_at: now, fetched },
+        );
+    }
+
+    /// Serves a fetch request from an acquaintance: recursively assemble
+    /// this node's query-time view, then execute the rule body over it.
+    pub(crate) fn handle_query_request(
+        &mut self,
+        ctx: &mut Context<Envelope>,
+        from: NodeId,
+        req: ReqId,
+        rule: RuleName,
+        path: Vec<NodeId>,
+    ) {
+        let Some(link) = self.book.incoming.get(&rule) else {
+            // Stale rule: answer empty so the requester can make progress.
+            self.post(
+                ctx,
+                from,
+                Body::QueryAnswer { req, firings: vec![], closed: true },
+            );
+            return;
+        };
+        let body_rels: BTreeSet<String> = link
+            .rule
+            .body_relations()
+            .into_iter()
+            .map(str::to_owned)
+            .collect();
+        let mut path = path;
+        path.push(self.id);
+        let links = self.fetchable_links(&body_rels, &path);
+        let overlay_rels = self.overlay_relations(body_rels, &links);
+        let overlay = self.overlay_for(&overlay_rels);
+
+        // The paper: "when node gets a query request, it answers it using
+        // local data immediately, and it forwards it through all outgoing
+        // links" — stream the local instalment now, nested data later.
+        let initial = self.book.incoming[&rule]
+            .rule
+            .fire(&overlay)
+            .expect("schema-validated rule");
+        let done = links.is_empty();
+        self.post(
+            ctx,
+            from,
+            Body::QueryAnswer { req, firings: initial.clone(), closed: done },
+        );
+        if done {
+            return;
+        }
+
+        let mut pending = BTreeSet::new();
+        for (nested_rule, source) in links {
+            let nested = self.next_req();
+            pending.insert(nested);
+            self.nested_parent.insert(nested, ParentRef::Serving(req));
+            self.post(
+                ctx,
+                source,
+                Body::QueryRequest { req: nested, rule: nested_rule, path: path.clone() },
+            );
+        }
+        self.serving.insert(
+            req,
+            Serving {
+                req,
+                requester: from,
+                rule,
+                overlay,
+                pending,
+                sent: initial.into_iter().collect(),
+            },
+        );
+    }
+
+    /// Routes an answer instalment to the query or serving context that
+    /// requested it.
+    pub(crate) fn handle_query_answer(
+        &mut self,
+        ctx: &mut Context<Envelope>,
+        _from: NodeId,
+        req: ReqId,
+        firings: Vec<RuleFiring>,
+        closed: bool,
+    ) {
+        let Some(&parent) = self.nested_parent.get(&req) else {
+            return; // duplicate/stale answer
+        };
+        if closed {
+            self.nested_parent.remove(&req);
+        }
+        let bytes: usize = firings.iter().map(RuleFiring::size_bytes).sum();
+        match parent {
+            ParentRef::Query(query_id) => {
+                let Some(exec) = self.queries.get_mut(&query_id) else { return };
+                codb_relational::apply_firings(&mut exec.overlay, &firings, &mut self.nulls)
+                    .expect("firings validated against schema");
+                if closed {
+                    exec.pending.remove(&req);
+                }
+                if let Some(rep) = self.report.queries.get_mut(&query_id) {
+                    rep.answers_received += 1;
+                    rep.bytes_received += bytes as u64;
+                    if rep.first_answer_at.is_none() {
+                        rep.first_answer_at = Some(ctx.now());
+                    }
+                }
+                if self.queries[&query_id].pending.is_empty() {
+                    let exec = self.queries.remove(&query_id).expect("present");
+                    let answers = codb_relational::answer_query(&exec.query, &exec.overlay)
+                        .unwrap_or_default();
+                    self.finish_query_with(query_id, answers, ctx.now(), true);
+                }
+            }
+            ParentRef::Serving(sreq) => {
+                let Some(s) = self.serving.get_mut(&sreq) else { return };
+                codb_relational::apply_firings(&mut s.overlay, &firings, &mut self.nulls)
+                    .expect("firings validated against schema");
+                if closed {
+                    s.pending.remove(&req);
+                }
+                // Stream the increment: everything derivable now minus what
+                // was already sent.
+                let all = self.book.incoming[&s.rule]
+                    .rule
+                    .fire(&s.overlay)
+                    .expect("schema-validated rule");
+                let fresh: Vec<RuleFiring> =
+                    all.into_iter().filter(|f| s.sent.insert(f.clone())).collect();
+                let finished = s.pending.is_empty();
+                let requester = s.requester;
+                let original_req = s.req;
+                if finished {
+                    self.serving.remove(&sreq);
+                }
+                if !fresh.is_empty() || finished {
+                    self.post(
+                        ctx,
+                        requester,
+                        Body::QueryAnswer {
+                            req: original_req,
+                            firings: fresh,
+                            closed: finished,
+                        },
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parent_ref_is_copy_and_debug() {
+        let q = ParentRef::Query(QueryId { origin: NodeId(0), seq: 1 });
+        let s = ParentRef::Serving(ReqId { node: NodeId(1), seq: 2 });
+        let _q2 = q;
+        assert!(format!("{q:?}").contains("Query"));
+        assert!(format!("{s:?}").contains("Serving"));
+    }
+}

@@ -1,0 +1,184 @@
+//! Reliable delivery over lossy pipes.
+//!
+//! JXTA gives coDB reliable pipes; our simulator optionally drops messages
+//! (experiment E12), so the node embeds a small ARQ layer: every protocol
+//! message carries a transport sequence number, the receiver answers with a
+//! transport [`crate::messages::Body::Ack`], duplicates are suppressed by a
+//! per-sender seen-set, and unacknowledged messages are retransmitted on a
+//! timer. Rule firings and protocol steps are idempotent (firing-level
+//! dedup, Dijkstra–Scholten credits counted once), so retransmission is
+//! safe.
+
+use crate::ids::NodeId;
+use crate::messages::{Body, Envelope};
+use codb_net::SimTime;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// An unacknowledged message.
+#[derive(Clone, Debug)]
+pub struct Outstanding {
+    /// Destination node.
+    pub to: NodeId,
+    /// The body (resent verbatim under the same seq).
+    pub body: Body,
+    /// Retransmission attempts so far.
+    pub attempts: u32,
+}
+
+/// Per-node reliable-delivery state.
+#[derive(Debug)]
+pub struct Reliable {
+    next_seq: u64,
+    outstanding: BTreeMap<u64, Outstanding>,
+    seen: BTreeMap<NodeId, BTreeSet<u64>>,
+    /// Retransmission interval.
+    pub retransmit_after: SimTime,
+    /// Give up on a message after this many retransmissions (the peer or
+    /// pipe is presumed gone — a crashed JXTA peer). With loss `p` the
+    /// residual failure probability is `p^max_attempts`.
+    pub max_attempts: u32,
+}
+
+impl Reliable {
+    /// Creates the layer with the given retransmission interval.
+    pub fn new(retransmit_after: SimTime) -> Self {
+        Reliable {
+            next_seq: 0,
+            outstanding: BTreeMap::new(),
+            seen: BTreeMap::new(),
+            retransmit_after,
+            max_attempts: 25,
+        }
+    }
+
+    /// Wraps `body` for `to`: assigns a transport seq and registers the
+    /// message for retransmission until acked.
+    pub fn wrap(&mut self, to: NodeId, body: Body) -> Envelope {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.outstanding
+            .insert(seq, Outstanding { to, body: body.clone(), attempts: 0 });
+        Envelope { seq: Some(seq), body }
+    }
+
+    /// Handles a transport ack; returns `true` if it retired an
+    /// outstanding message (duplicate acks return `false`).
+    pub fn on_ack(&mut self, seq: u64) -> bool {
+        self.outstanding.remove(&seq).is_some()
+    }
+
+    /// Receiver-side dedup. Returns `true` when the message should be
+    /// processed (first delivery), `false` for duplicates. Unsequenced
+    /// envelopes (harness control) are always processed.
+    pub fn should_process(&mut self, from: NodeId, seq: Option<u64>) -> bool {
+        match seq {
+            None => true,
+            Some(s) => self.seen.entry(from).or_default().insert(s),
+        }
+    }
+
+    /// One retransmission round: bumps attempt counters, drops messages
+    /// that exhausted [`Reliable::max_attempts`] (returned separately so
+    /// the caller can account for them), and returns what to resend under
+    /// the original seqs.
+    pub fn retransmission_round(&mut self) -> (Vec<(NodeId, Envelope)>, Vec<Outstanding>) {
+        let mut resend = Vec::new();
+        let mut abandoned = Vec::new();
+        let max = self.max_attempts;
+        self.outstanding.retain(|seq, o| {
+            o.attempts += 1;
+            if o.attempts > max {
+                abandoned.push(o.clone());
+                false
+            } else {
+                resend.push((o.to, Envelope { seq: Some(*seq), body: o.body.clone() }));
+                true
+            }
+        });
+        (resend, abandoned)
+    }
+
+    /// All messages currently awaiting acknowledgement, re-wrapped under
+    /// their original seqs (inspection; does not bump attempts).
+    pub fn pending(&self) -> Vec<(NodeId, Envelope)> {
+        self.outstanding
+            .iter()
+            .map(|(seq, o)| {
+                (o.to, Envelope { seq: Some(*seq), body: o.body.clone() })
+            })
+            .collect()
+    }
+
+    /// True iff any message awaits acknowledgement.
+    pub fn has_outstanding(&self) -> bool {
+        !self.outstanding.is_empty()
+    }
+
+    /// Drops outstanding messages addressed to `node` (it left the
+    /// network); returns how many were dropped.
+    pub fn forget_peer(&mut self, node: NodeId) -> usize {
+        let before = self.outstanding.len();
+        self.outstanding.retain(|_, o| o.to != node);
+        before - self.outstanding.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn body() -> Body {
+        Body::StatsRequest
+    }
+
+    #[test]
+    fn wrap_assigns_increasing_seqs() {
+        let mut r = Reliable::new(SimTime::from_millis(10));
+        let a = r.wrap(NodeId(1), body());
+        let b = r.wrap(NodeId(2), body());
+        assert_eq!(a.seq, Some(0));
+        assert_eq!(b.seq, Some(1));
+        assert!(r.has_outstanding());
+    }
+
+    #[test]
+    fn ack_retires_exactly_once() {
+        let mut r = Reliable::new(SimTime::from_millis(10));
+        let e = r.wrap(NodeId(1), body());
+        assert!(r.on_ack(e.seq.unwrap()));
+        assert!(!r.on_ack(e.seq.unwrap()));
+        assert!(!r.has_outstanding());
+    }
+
+    #[test]
+    fn dedup_is_per_sender() {
+        let mut r = Reliable::new(SimTime::from_millis(10));
+        assert!(r.should_process(NodeId(1), Some(5)));
+        assert!(!r.should_process(NodeId(1), Some(5)));
+        assert!(r.should_process(NodeId(2), Some(5)));
+        assert!(r.should_process(NodeId(1), None));
+        assert!(r.should_process(NodeId(1), None));
+    }
+
+    #[test]
+    fn pending_resends_same_seq() {
+        let mut r = Reliable::new(SimTime::from_millis(10));
+        let e = r.wrap(NodeId(1), body());
+        let p = r.pending();
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].0, NodeId(1));
+        assert_eq!(p[0].1.seq, e.seq);
+        r.on_ack(e.seq.unwrap());
+        assert!(r.pending().is_empty());
+    }
+
+    #[test]
+    fn forget_peer_drops_its_messages() {
+        let mut r = Reliable::new(SimTime::from_millis(10));
+        r.wrap(NodeId(1), body());
+        r.wrap(NodeId(2), body());
+        r.wrap(NodeId(1), body());
+        assert_eq!(r.forget_peer(NodeId(1)), 2);
+        assert_eq!(r.pending().len(), 1);
+    }
+}

@@ -1,0 +1,885 @@
+//! End-to-end tests of the coDB protocols on the deterministic simulator.
+
+use codb_core::{CoDbNetwork, NetworkConfig, NodeSettings};
+use codb_net::{PipeConfig, SimConfig, SimTime};
+use codb_relational::tup;
+
+fn build(src: &str) -> CoDbNetwork {
+    CoDbNetwork::build(NetworkConfig::parse(src).unwrap(), SimConfig::default()).unwrap()
+}
+
+const TWO_NODES: &str = r#"
+    node hr
+    node portal
+    schema hr: emp(str, int)
+    schema portal: person(str, int)
+    data hr: emp("alice", 30). emp("bob", 17). emp("carol", 45).
+    rule r1 @ hr -> portal: person(N, A) <- emp(N, A), A >= 18.
+"#;
+
+#[test]
+fn two_node_update_materialises_filtered_data() {
+    let mut net = build(TWO_NODES);
+    let portal = net.node_id("portal").unwrap();
+    let hr = net.node_id("hr").unwrap();
+    assert_eq!(net.node(portal).ldb().get("person").unwrap().len(), 0);
+
+    let outcome = net.run_update(portal);
+    let person = net.node(portal).ldb().get("person").unwrap();
+    assert_eq!(person.sorted(), vec![tup!["alice", 30], tup!["carol", 45]]);
+    // The source is untouched.
+    assert_eq!(net.node(hr).ldb().get("emp").unwrap().len(), 3);
+    assert!(outcome.duration > SimTime::ZERO);
+    assert_eq!(outcome.summary.tuples_added, 2);
+    assert_eq!(outcome.summary.nodes, 2);
+}
+
+#[test]
+fn update_is_idempotent() {
+    let mut net = build(TWO_NODES);
+    let portal = net.node_id("portal").unwrap();
+    let first = net.run_update(portal);
+    assert_eq!(first.summary.tuples_added, 2);
+    let second = net.run_update(portal);
+    assert_eq!(second.summary.tuples_added, 0);
+    assert_eq!(net.node(portal).ldb().get("person").unwrap().len(), 2);
+}
+
+#[test]
+fn update_started_anywhere_reaches_everyone() {
+    // Starting at the source also updates the target (flooding).
+    let mut net = build(TWO_NODES);
+    let hr = net.node_id("hr").unwrap();
+    let portal = net.node_id("portal").unwrap();
+    net.run_update(hr);
+    assert_eq!(net.node(portal).ldb().get("person").unwrap().len(), 2);
+}
+
+fn chain_config(n: usize, tuples: usize) -> String {
+    // n nodes; node 0 holds base data; rule i copies r from node i to i+1.
+    let mut s = String::new();
+    for i in 0..n {
+        s.push_str(&format!("node node{i}\nschema node{i}: r(int)\n"));
+    }
+    s.push_str("data node0: ");
+    for t in 0..tuples {
+        s.push_str(&format!("r({t}). "));
+    }
+    s.push('\n');
+    for i in 0..n - 1 {
+        s.push_str(&format!(
+            "rule c{i} @ node{i} -> node{j}: r(X) <- r(X).\n",
+            j = i + 1
+        ));
+    }
+    s
+}
+
+#[test]
+fn chain_update_propagates_transitively() {
+    let mut net = build(&chain_config(5, 10));
+    let last = net.node_id("node4").unwrap();
+    let outcome = net.run_update(net.node_id("node0").unwrap());
+    for i in 0..5 {
+        let id = net.node_id(&format!("node{i}")).unwrap();
+        assert_eq!(
+            net.node(id).ldb().get("r").unwrap().len(),
+            10,
+            "node{i} must hold all 10 tuples"
+        );
+    }
+    assert_eq!(net.node(last).ldb().get("r").unwrap().len(), 10);
+    // Longest propagation path in a 5-chain is 4 hops.
+    assert_eq!(outcome.summary.longest_path, 4);
+    // Every node closed on its own (acyclic): no forced closes needed.
+    assert_eq!(outcome.summary.closed_early, 5);
+    assert_eq!(outcome.summary.tuples_added, 40);
+}
+
+#[test]
+fn chain_closes_progressively_without_update_complete_data() {
+    // In an acyclic chain every LinkClosed is derived from the paper's
+    // rule, before the global completion flood arrives.
+    let mut net = build(&chain_config(4, 3));
+    let outcome = net.run_update(net.node_id("node0").unwrap());
+    let report = net.network_report();
+    for (_, node) in report.nodes.iter() {
+        let r = &node.updates[&outcome.update];
+        let closed = r.closed_at.expect("every node closed");
+        let completed = r.completed_at.expect("every node saw completion");
+        assert!(closed <= completed, "paper's close rule fires no later than the flood");
+    }
+}
+
+#[test]
+fn cyclic_rules_reach_fixpoint_and_terminate() {
+    // Ring of 3 nodes copying r around: every node ends with the union.
+    let src = r#"
+        node a
+        node b
+        node c
+        schema a: r(int)
+        schema b: r(int)
+        schema c: r(int)
+        data a: r(1). r(2).
+        data b: r(3).
+        data c: r(4).
+        rule ab @ a -> b: r(X) <- r(X).
+        rule bc @ b -> c: r(X) <- r(X).
+        rule ca @ c -> a: r(X) <- r(X).
+    "#;
+    let mut net = build(src);
+    let outcome = net.run_update(net.node_id("a").unwrap());
+    for name in ["a", "b", "c"] {
+        let id = net.node_id(name).unwrap();
+        assert_eq!(
+            net.node(id).ldb().get("r").unwrap().sorted(),
+            vec![tup![1], tup![2], tup![3], tup![4]],
+            "node {name} must hold the fixpoint"
+        );
+    }
+    // Cyclic links cannot close by the paper's rule alone; completion is
+    // forced by the Dijkstra–Scholten termination flood.
+    assert_eq!(outcome.summary.closed_early, 0);
+    assert!(outcome.summary.longest_path >= 2);
+}
+
+#[test]
+fn two_node_cycle_converges() {
+    let src = r#"
+        node a
+        node b
+        schema a: r(int)
+        schema b: r(int)
+        data a: r(1).
+        data b: r(2).
+        rule ab @ a -> b: r(X) <- r(X).
+        rule ba @ b -> a: r(X) <- r(X).
+    "#;
+    let mut net = build(src);
+    net.run_update(net.node_id("b").unwrap());
+    for name in ["a", "b"] {
+        let id = net.node_id(name).unwrap();
+        assert_eq!(net.node(id).ldb().get("r").unwrap().len(), 2);
+    }
+}
+
+#[test]
+fn glav_rule_invents_shared_nulls() {
+    let src = r#"
+        node src
+        node tgt
+        schema src: emp(str)
+        schema tgt: person(str, int)
+        schema tgt: dept(int)
+        data src: emp("ada"). emp("bob").
+        rule g @ src -> tgt: person(N, D), dept(D) <- emp(N).
+    "#;
+    let mut net = build(src);
+    let tgt = net.node_id("tgt").unwrap();
+    net.run_update(tgt);
+    let node = net.node(tgt);
+    let person = node.ldb().get("person").unwrap();
+    let dept = node.ldb().get("dept").unwrap();
+    assert_eq!(person.len(), 2);
+    assert_eq!(dept.len(), 2);
+    // Each person's invented dept id also appears in dept (joint nulls).
+    for t in person.iter() {
+        assert!(t.get(1).unwrap().is_null());
+        assert!(dept.contains(&codb_relational::Tuple::new(vec![t[1].clone()])));
+    }
+}
+
+#[test]
+fn query_time_answers_match_materialised_answers_on_chain() {
+    let cfg = chain_config(4, 6);
+    let query = "ans(X) :- r(X).";
+
+    // Query-time (fresh network, nothing materialised).
+    let mut net1 = build(&cfg);
+    let last1 = net1.node_id("node3").unwrap();
+    let q = net1.run_query_text(last1, query, true).unwrap();
+    assert_eq!(q.result.answers.len(), 6);
+    assert!(q.messages > 0);
+    // The query did NOT materialise anything.
+    assert_eq!(net1.node(last1).ldb().get("r").unwrap().len(), 0);
+
+    // Materialised (update first, then local query).
+    let mut net2 = build(&cfg);
+    let last2 = net2.node_id("node3").unwrap();
+    net2.run_update(last2);
+    let q2 = net2.run_query_text(last2, query, false).unwrap();
+    assert_eq!(q2.result.answers, q.result.answers);
+    assert_eq!(q2.messages, 0, "local query needs no messages");
+}
+
+#[test]
+fn query_time_on_cycle_is_sound_subset() {
+    let src = r#"
+        node a
+        node b
+        schema a: r(int)
+        schema b: r(int)
+        data a: r(1).
+        data b: r(2).
+        rule ab @ a -> b: r(X) <- r(X).
+        rule ba @ b -> a: r(X) <- r(X).
+    "#;
+    let mut net = build(src);
+    let a = net.node_id("a").unwrap();
+    let q = net.run_query_text(a, "ans(X) :- r(X).", true).unwrap();
+    // Simple paths reach b once: both tuples visible from a.
+    assert_eq!(q.result.answers.len(), 2);
+    // And the update agrees.
+    net.run_update(a);
+    let local = net.run_query_text(a, "ans(X) :- r(X).", false).unwrap();
+    assert_eq!(local.result.answers.len(), 2);
+}
+
+#[test]
+fn update_survives_message_loss_with_retransmission() {
+    let config = NetworkConfig::parse(&chain_config(4, 5)).unwrap();
+    let sim = SimConfig {
+        seed: 42,
+        default_pipe: PipeConfig::lan().with_loss(0.15),
+        max_events: 2_000_000,
+    };
+    let settings = NodeSettings {
+        retransmit_after: SimTime::from_millis(20),
+        pipe: PipeConfig::lan().with_loss(0.15),
+        ..Default::default()
+    };
+    let mut net = CoDbNetwork::build_with(config, sim, settings, false).unwrap();
+    let outcome = net.run_update(net.node_id("node0").unwrap());
+    assert!(net.sim().stats().dropped > 0, "loss model must have fired");
+    for i in 0..4 {
+        let id = net.node_id(&format!("node{i}")).unwrap();
+        assert_eq!(net.node(id).ldb().get("r").unwrap().len(), 5, "node{i}");
+    }
+    assert_eq!(outcome.summary.nodes, 4);
+}
+
+#[test]
+fn comparison_predicates_filter_at_the_source() {
+    let src = r#"
+        node s
+        node t
+        schema s: m(int, int)
+        schema t: big(int)
+        data s: m(1, 10). m(2, 20). m(3, 30).
+        rule f @ s -> t: big(X) <- m(X, Y), Y > 15.
+    "#;
+    let mut net = build(src);
+    let t = net.node_id("t").unwrap();
+    net.run_update(t);
+    assert_eq!(
+        net.node(t).ldb().get("big").unwrap().sorted(),
+        vec![tup![2], tup![3]]
+    );
+}
+
+#[test]
+fn join_rule_combines_relations_at_source() {
+    let src = r#"
+        node s
+        node t
+        schema s: e(int, int)
+        schema s: lab(int, str)
+        schema t: named_edge(str, str)
+        data s: e(1, 2). e(2, 3).
+        data s: lab(1, "one"). lab(2, "two"). lab(3, "three").
+        rule j @ s -> t: named_edge(A, B) <- e(X, Y), lab(X, A), lab(Y, B).
+    "#;
+    let mut net = build(src);
+    let t = net.node_id("t").unwrap();
+    net.run_update(t);
+    assert_eq!(
+        net.node(t).ldb().get("named_edge").unwrap().sorted(),
+        vec![tup!["one", "two"], tup!["two", "three"]]
+    );
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let run = || {
+        let mut net = build(&chain_config(5, 8));
+        let o = net.run_update(net.node_id("node0").unwrap());
+        (o.duration, o.messages, o.bytes, o.summary.tuples_added)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn star_topology_fanout() {
+    // Hub imports from 4 leaves.
+    let mut s = String::new();
+    s.push_str("node hub\nschema hub: all(int)\n");
+    for i in 0..4 {
+        s.push_str(&format!(
+            "node leaf{i}\nschema leaf{i}: r(int)\ndata leaf{i}: r({i}).\n"
+        ));
+    }
+    for i in 0..4 {
+        s.push_str(&format!("rule s{i} @ leaf{i} -> hub: all(X) <- r(X).\n"));
+    }
+    let mut net = build(&s);
+    let hub = net.node_id("hub").unwrap();
+    let outcome = net.run_update(hub);
+    assert_eq!(net.node(hub).ldb().get("all").unwrap().len(), 4);
+    assert_eq!(outcome.summary.longest_path, 1);
+}
+
+#[test]
+fn diamond_deduplicates_via_both_paths() {
+    // a -> b -> d and a -> c -> d: d receives everything twice, stores once.
+    let src = r#"
+        node a
+        node b
+        node c
+        node d
+        schema a: r(int)
+        schema b: r(int)
+        schema c: r(int)
+        schema d: r(int)
+        data a: r(1). r(2).
+        rule ab @ a -> b: r(X) <- r(X).
+        rule ac @ a -> c: r(X) <- r(X).
+        rule bd @ b -> d: r(X) <- r(X).
+        rule cd @ c -> d: r(X) <- r(X).
+    "#;
+    let mut net = build(src);
+    let d = net.node_id("d").unwrap();
+    let outcome = net.run_update(d);
+    assert_eq!(net.node(d).ldb().get("r").unwrap().len(), 2);
+    // d received 2 firings on each of its two outgoing links but added 2.
+    let report = net.network_report();
+    let d_report = &report.nodes[&d].updates[&outcome.update];
+    assert_eq!(d_report.tuples_added, 2);
+    let recv: u64 = d_report.received.values().map(|t| t.firings).sum();
+    assert_eq!(recv, 4);
+}
+
+#[test]
+fn superpeer_collects_stats_matching_direct_reads() {
+    let config = NetworkConfig::parse(&chain_config(3, 4)).unwrap();
+    let mut net =
+        CoDbNetwork::build_with_superpeer(config, SimConfig::default()).unwrap();
+    let origin = net.node_id("node0").unwrap();
+    let outcome = net.run_update(origin);
+    let direct = net.network_report();
+    let collected = net.collect_stats();
+    let s1 = direct.summarise(outcome.update).unwrap();
+    let s2 = collected.summarise(outcome.update).unwrap();
+    assert_eq!(s1.tuples_added, s2.tuples_added);
+    assert_eq!(s1.data_messages, s2.data_messages);
+    assert_eq!(s1.longest_path, s2.longest_path);
+    assert_eq!(s1.nodes, s2.nodes);
+}
+
+#[test]
+fn superpeer_rebroadcast_rewires_topology() {
+    // Start with a -> b; rewire to a -> c at runtime.
+    let v1 = r#"
+        version 1
+        node a
+        node b
+        node c
+        schema a: r(int)
+        schema b: r(int)
+        schema c: r(int)
+        data a: r(7).
+        rule ab @ a -> b: r(X) <- r(X).
+    "#;
+    let v2 = r#"
+        version 2
+        node a
+        node b
+        node c
+        schema a: r(int)
+        schema b: r(int)
+        schema c: r(int)
+        data a: r(7).
+        rule ac @ a -> c: r(X) <- r(X).
+    "#;
+    let mut net = CoDbNetwork::build_with_superpeer(
+        NetworkConfig::parse(v1).unwrap(),
+        SimConfig::default(),
+    )
+    .unwrap();
+    let (a, b, c) = (
+        net.node_id("a").unwrap(),
+        net.node_id("b").unwrap(),
+        net.node_id("c").unwrap(),
+    );
+    net.run_update(a);
+    assert_eq!(net.node(b).ldb().get("r").unwrap().len(), 1);
+    assert_eq!(net.node(c).ldb().get("r").unwrap().len(), 0);
+
+    net.broadcast_rules(NetworkConfig::parse(v2).unwrap()).unwrap();
+    // Pipes rewired: a-b gone, a-c open.
+    assert!(!net.sim().has_pipe(a.peer(), b.peer()));
+    assert!(net.sim().has_pipe(a.peer(), c.peer()));
+
+    net.run_update(a);
+    assert_eq!(net.node(c).ldb().get("r").unwrap().len(), 1);
+}
+
+#[test]
+fn isolated_node_update_completes_immediately() {
+    let src = "node lonely\nschema lonely: r(int)\ndata lonely: r(1).";
+    let mut net = build(src);
+    let id = net.node_id("lonely").unwrap();
+    let outcome = net.run_update(id);
+    assert_eq!(outcome.summary.nodes, 1);
+    assert_eq!(outcome.summary.tuples_added, 0);
+}
+
+#[test]
+fn mediator_node_relays_without_local_data() {
+    // mid has schema but no data: pure mediator between src and dst.
+    let src = r#"
+        node src
+        node mid
+        node dst
+        schema src: r(int)
+        schema mid: r(int)
+        schema dst: r(int)
+        data src: r(1). r(2). r(3).
+        rule sm @ src -> mid: r(X) <- r(X).
+        rule md @ mid -> dst: r(X) <- r(X).
+    "#;
+    let mut net = build(src);
+    let dst = net.node_id("dst").unwrap();
+    net.run_update(dst);
+    assert_eq!(net.node(dst).ldb().get("r").unwrap().len(), 3);
+}
+
+// ---------------------------------------------------------------------
+// Query-dependent (scoped) updates — the paper's "query-dependent update
+// requests" (§2).
+// ---------------------------------------------------------------------
+
+const FORKED: &str = r#"
+    node left
+    node right
+    node hub
+    schema left: l(int)
+    schema right: r(int)
+    schema hub: l_data(int)
+    schema hub: r_data(int)
+    data left: l(1). l(2).
+    data right: r(3). r(4). r(5).
+    rule from_l @ left -> hub: l_data(X) <- l(X).
+    rule from_r @ right -> hub: r_data(X) <- r(X).
+"#;
+
+#[test]
+fn scoped_update_materialises_only_the_demanded_branch() {
+    let mut net = build(FORKED);
+    let hub = net.node_id("hub").unwrap();
+    let outcome = net.run_scoped_update(hub, vec!["l_data".to_owned()]);
+    let node = net.node(hub);
+    assert_eq!(node.ldb().get("l_data").unwrap().len(), 2, "demanded branch");
+    assert_eq!(node.ldb().get("r_data").unwrap().len(), 0, "undemanded branch untouched");
+    // Fewer messages than a full update would need (no flood, no right
+    // branch).
+    assert!(outcome.summary.tuples_added == 2);
+    let full = {
+        let mut net2 = build(FORKED);
+        net2.run_update(hub)
+    };
+    assert!(outcome.messages < full.messages, "scoped {} !< full {}", outcome.messages, full.messages);
+}
+
+#[test]
+fn scoped_update_follows_transitive_demand() {
+    // chain: node0 -> node1 -> node2; demand at node2 pulls through node1.
+    let mut net = build(&chain_config(3, 4));
+    let last = net.node_id("node2").unwrap();
+    let outcome = net.run_scoped_update(last, vec!["r".to_owned()]);
+    assert_eq!(net.node(last).ldb().get("r").unwrap().len(), 4);
+    // Intermediate node also materialised (it is on the demand path).
+    let mid = net.node_id("node1").unwrap();
+    assert_eq!(net.node(mid).ldb().get("r").unwrap().len(), 4);
+    assert_eq!(outcome.summary.longest_path, 2);
+}
+
+#[test]
+fn scoped_update_on_cycle_terminates() {
+    let src = r#"
+        node a
+        node b
+        schema a: r(int)
+        schema b: r(int)
+        data a: r(1).
+        data b: r(2).
+        rule ab @ a -> b: r(X) <- r(X).
+        rule ba @ b -> a: r(X) <- r(X).
+    "#;
+    let mut net = build(src);
+    let a = net.node_id("a").unwrap();
+    net.run_scoped_update(a, vec!["r".to_owned()]);
+    assert_eq!(net.node(a).ldb().get("r").unwrap().len(), 2);
+    // b also reaches the fixpoint: the cycle demands b's r, which demands
+    // a's r back.
+    let b = net.node_id("b").unwrap();
+    assert_eq!(net.node(b).ldb().get("r").unwrap().len(), 2);
+}
+
+#[test]
+fn scoped_update_with_unknown_relation_is_a_noop() {
+    let mut net = build(FORKED);
+    let hub = net.node_id("hub").unwrap();
+    let outcome = net.run_scoped_update(hub, vec!["nonexistent".to_owned()]);
+    assert_eq!(outcome.summary.tuples_added, 0);
+    // Only the completion flood and its acks — no demands, no data.
+    assert!(outcome.messages <= 6, "got {}", outcome.messages);
+}
+
+#[test]
+fn scoped_then_local_query_answers_the_scoping_query() {
+    let mut net = build(&chain_config(4, 6));
+    let last = net.node_id("node3").unwrap();
+    net.run_scoped_update(last, vec!["r".to_owned()]);
+    let q = net.run_query_text(last, "ans(X) :- r(X).", false).unwrap();
+    assert_eq!(q.result.answers.len(), 6);
+    assert_eq!(q.messages, 0);
+}
+
+// ---------------------------------------------------------------------
+// Concurrency: multiple updates and queries in flight simultaneously.
+// ---------------------------------------------------------------------
+
+#[test]
+fn two_concurrent_updates_from_different_origins_both_complete() {
+    let mut net = build(&chain_config(5, 8));
+    let n0 = net.node_id("node0").unwrap();
+    let n4 = net.node_id("node4").unwrap();
+    // Inject both before running: they interleave in the event queue.
+    net.sim_mut().inject(
+        codb_core::HARNESS_PEER,
+        n0.peer(),
+        codb_core::Envelope::control(codb_core::Body::StartUpdate),
+    );
+    net.sim_mut().inject(
+        codb_core::HARNESS_PEER,
+        n4.peer(),
+        codb_core::Envelope::control(codb_core::Body::StartUpdate),
+    );
+    net.sim_mut().run_until_quiescent();
+    let report = net.network_report();
+    let ids = report.update_ids();
+    assert_eq!(ids.len(), 2, "two distinct update ids");
+    for id in ids {
+        let s = report.summarise(id).unwrap();
+        assert_eq!(s.nodes, 5, "update {id} reached everyone");
+    }
+    // Data converged exactly once despite double delivery.
+    for i in 0..5 {
+        let node = net.node_id(&format!("node{i}")).unwrap();
+        assert_eq!(net.node(node).ldb().get("r").unwrap().len(), 8);
+    }
+}
+
+#[test]
+fn concurrent_queries_get_distinct_answers() {
+    let mut net = build(&chain_config(3, 5));
+    let last = net.node_id("node2").unwrap();
+    let q1 = codb_relational::parse_query("ans(X) :- r(X).").unwrap();
+    let q2 = codb_relational::parse_query("ans(X) :- r(X), X >= 2.").unwrap();
+    net.sim_mut().inject(
+        codb_core::HARNESS_PEER,
+        last.peer(),
+        codb_core::Envelope::control(codb_core::Body::StartQuery {
+            query: Box::new(q1),
+            fetch: true,
+        }),
+    );
+    net.sim_mut().inject(
+        codb_core::HARNESS_PEER,
+        last.peer(),
+        codb_core::Envelope::control(codb_core::Body::StartQuery {
+            query: Box::new(q2),
+            fetch: true,
+        }),
+    );
+    net.sim_mut().run_until_quiescent();
+    let results = &net.node(last).completed_queries;
+    assert_eq!(results.len(), 2);
+    let mut sizes: Vec<usize> = results.values().map(|r| r.answers.len()).collect();
+    sizes.sort();
+    assert_eq!(sizes, vec![3, 5]); // {2,3,4} and {0..5}
+}
+
+#[test]
+fn update_during_query_does_not_corrupt_either() {
+    let mut net = build(&chain_config(3, 5));
+    let last = net.node_id("node2").unwrap();
+    let q = codb_relational::parse_query("ans(X) :- r(X).").unwrap();
+    net.sim_mut().inject(
+        codb_core::HARNESS_PEER,
+        last.peer(),
+        codb_core::Envelope::control(codb_core::Body::StartQuery {
+            query: Box::new(q),
+            fetch: true,
+        }),
+    );
+    net.sim_mut().inject(
+        codb_core::HARNESS_PEER,
+        last.peer(),
+        codb_core::Envelope::control(codb_core::Body::StartUpdate),
+    );
+    net.sim_mut().run_until_quiescent();
+    // The query answered (overlay isolated from the concurrent
+    // materialisation — possibly observing it, never corrupting it).
+    let results = &net.node(last).completed_queries;
+    assert_eq!(results.len(), 1);
+    let answers = results.values().next().unwrap().answers.len();
+    assert!(answers == 5 || answers == 0 || answers > 0, "query completed");
+    // The update fully materialised.
+    assert_eq!(net.node(last).ldb().get("r").unwrap().len(), 5);
+}
+
+#[test]
+fn topology_discovery_finds_non_acquaintances() {
+    // Two disjoint two-node networks in one simulator: nodes discover each
+    // other through the advertisement board even without pipes or rules.
+    let src = r#"
+        node a
+        node b
+        node c
+        node d
+        schema a: r(int)
+        schema b: r(int)
+        schema c: s(int)
+        schema d: s(int)
+        rule ab @ a -> b: r(X) <- r(X).
+        rule cd @ c -> d: s(X) <- s(X).
+    "#;
+    let mut net = build(src);
+    let a = net.node_id("a").unwrap();
+    net.run_control(a, codb_core::Body::TriggerDiscovery);
+    let discovered = &net.node(a).discovered;
+    // a discovers b (acquaintance) AND c, d (not acquaintances).
+    assert!(discovered.contains(&net.node_id("c").unwrap()));
+    assert!(discovered.contains(&net.node_id("d").unwrap()));
+    assert!(!discovered.contains(&a), "a does not list itself");
+}
+
+// ---------------------------------------------------------------------
+// Partition and healing.
+// ---------------------------------------------------------------------
+
+#[test]
+fn partition_heals_and_next_update_converges() {
+    let mut net = build(&chain_config(4, 6));
+    let n0 = net.node_id("node0").unwrap();
+    let n1 = net.node_id("node1").unwrap();
+    let n3 = net.node_id("node3").unwrap();
+
+    // Partition the chain between node1 and node2 before any update.
+    let n2 = net.node_id("node2").unwrap();
+    net.sim_mut().close_pipe(n1.peer(), n2.peer());
+
+    // An update started at node3 cannot reach across the cut; the run
+    // still quiesces (bounded retransmission gives up on the dead pipe).
+    net.sim_mut().inject(
+        codb_core::HARNESS_PEER,
+        n3.peer(),
+        codb_core::Envelope::control(codb_core::Body::StartUpdate),
+    );
+    let mut guard = 0;
+    while net.sim_mut().step() {
+        guard += 1;
+        assert!(guard < 2_000_000, "must quiesce under partition");
+    }
+    assert_eq!(net.node(n3).ldb().get("r").unwrap().len(), 0, "cut blocks data");
+
+    // Heal the partition and run a fresh update: full convergence.
+    net.sim_mut().open_pipe_default(n1.peer(), n2.peer());
+    net.run_update(n3);
+    assert_eq!(net.node(n3).ldb().get("r").unwrap().len(), 6);
+    assert_eq!(net.node(n0).ldb().get("r").unwrap().len(), 6);
+}
+
+#[test]
+fn node_snapshot_restores_materialised_state() {
+    let mut net = build(TWO_NODES);
+    let portal = net.node_id("portal").unwrap();
+    net.run_update(portal);
+    let bytes = net.node(portal).snapshot().to_bytes();
+
+    // Fresh network: portal empty; restore the snapshot.
+    let mut net2 = build(TWO_NODES);
+    let portal2 = net2.node_id("portal").unwrap();
+    assert!(net2.node(portal2).ldb().get("person").unwrap().is_empty());
+    let snap = codb_relational::Snapshot::from_bytes(&bytes).unwrap();
+    net2.sim_mut().peer_mut(portal2.peer()).unwrap().restore(snap);
+    let q = net2
+        .run_query_text(portal2, "ans(N) :- person(N, A).", false)
+        .unwrap();
+    assert_eq!(q.result.answers.len(), 2);
+}
+
+// ---------------------------------------------------------------------
+// Repeated updates: incremental caches and GLAV re-run semantics.
+// ---------------------------------------------------------------------
+
+#[test]
+fn repeated_glav_update_does_not_duplicate_nulls() {
+    // Without cross-update template dedup, every re-run would invent fresh
+    // nulls for the same existential facts and balloon the target.
+    let src = r#"
+        node s
+        node t
+        schema s: emp(str)
+        schema t: person(str, int)
+        data s: emp("ada"). emp("bob").
+        rule g @ s -> t: person(N, F) <- emp(N).
+    "#;
+    let mut net = build(src);
+    let t = net.node_id("t").unwrap();
+    net.run_update(t);
+    assert_eq!(net.node(t).ldb().get("person").unwrap().len(), 2);
+    let second = net.run_update(t);
+    assert_eq!(second.summary.tuples_added, 0, "re-run must not re-invent nulls");
+    assert_eq!(net.node(t).ldb().get("person").unwrap().len(), 2);
+}
+
+#[test]
+fn incremental_updates_skip_already_sent_data() {
+    let mut net = build(&chain_config(3, 10));
+    let last = net.node_id("node2").unwrap();
+    let first = net.run_update(last);
+    assert!(first.summary.data_messages > 0);
+    // Second update: sender-side caches persist → no data moves at all.
+    let second = net.run_update(last);
+    assert_eq!(second.summary.data_messages, 0, "nothing new to ship");
+    assert_eq!(second.summary.tuples_added, 0);
+}
+
+#[test]
+fn incremental_update_ships_only_new_tuples() {
+    let mut net = build(&chain_config(3, 10));
+    let last = net.node_id("node2").unwrap();
+    net.run_update(last);
+    // The user inserts two new tuples at the head of the chain.
+    let n0 = net.node_id("node0").unwrap();
+    let node0 = net.sim_mut().peer_mut(n0.peer()).unwrap();
+    node0.insert_local("r", codb_relational::tup![100]).unwrap();
+    node0.insert_local("r", codb_relational::tup![101]).unwrap();
+    let second = net.run_update(last);
+    assert_eq!(second.summary.tuples_added, 4, "2 new tuples × 2 downstream nodes");
+    assert_eq!(net.node(last).ldb().get("r").unwrap().len(), 12);
+    // Data messages carried only the delta.
+    assert_eq!(second.summary.firings, 4);
+}
+
+#[test]
+fn non_incremental_mode_resends_but_stays_correct() {
+    let config = codb_core::NetworkConfig::parse(&chain_config(3, 10)).unwrap();
+    let settings = NodeSettings { incremental_updates: false, ..Default::default() };
+    let mut net =
+        CoDbNetwork::build_with(config, SimConfig::default(), settings, false).unwrap();
+    let last = net.node_id("node2").unwrap();
+    let first = net.run_update(last);
+    let second = net.run_update(last);
+    // Everything is re-sent…
+    assert_eq!(second.summary.data_messages, first.summary.data_messages);
+    // …but receiver-side template dedup keeps the data exact.
+    assert_eq!(second.summary.tuples_added, 0);
+    assert_eq!(net.node(last).ldb().get("r").unwrap().len(), 10);
+}
+
+#[test]
+fn stale_query_rule_gets_empty_answer_not_a_hang() {
+    // Query launched against a rule that the source no longer knows (the
+    // super-peer rewired mid-flight): the source answers empty so the
+    // querying node can finish.
+    let v1 = r#"
+        version 1
+        node a
+        node b
+        schema a: r(int)
+        schema b: r(int)
+        data a: r(1).
+        rule ab @ a -> b: r(X) <- r(X).
+    "#;
+    let v2 = r#"
+        version 2
+        node a
+        node b
+        schema a: r(int)
+        schema b: r(int)
+        data a: r(1).
+    "#;
+    let mut net = CoDbNetwork::build_with_superpeer(
+        NetworkConfig::parse(v1).unwrap(),
+        SimConfig::default(),
+    )
+    .unwrap();
+    let b = net.node_id("b").unwrap();
+    // Rewire away the rule *at the source only* by broadcasting v2... the
+    // broadcast reaches everyone, so to create staleness we inject the
+    // query while the new rules file is still being distributed: inject
+    // both and let the event order interleave.
+    let sp = net.superpeer().unwrap();
+    net.sim_mut().inject(
+        codb_core::HARNESS_PEER,
+        sp.peer(),
+        codb_core::Envelope::control(codb_core::Body::BroadcastRules),
+    );
+    // Replace superpeer config first so the broadcast carries v2.
+    net.broadcast_rules(NetworkConfig::parse(v2).unwrap()).unwrap();
+    let q = net.run_query_text(b, "ans(X) :- r(X).", true).unwrap();
+    // The rule is gone: nothing to fetch, query answers from local (empty).
+    assert_eq!(q.result.answers.len(), 0);
+}
+
+#[test]
+fn update_report_duration_fields_are_consistent() {
+    let mut net = build(&chain_config(4, 5));
+    let outcome = net.run_update(net.node_id("node0").unwrap());
+    let report = net.network_report();
+    for node in report.nodes.values() {
+        let r = &node.updates[&outcome.update];
+        let d = r.duration().expect("closed nodes have durations");
+        assert!(d <= outcome.summary.total_time);
+        assert!(r.started_at >= outcome.summary.started_at);
+    }
+    // Messages-by-kind account at least the data traffic.
+    let kinds: u64 = report
+        .nodes
+        .values()
+        .flat_map(|n| n.messages_sent.values())
+        .sum();
+    assert!(kinds >= outcome.summary.data_messages);
+}
+
+#[test]
+fn streaming_queries_deliver_first_answers_before_completion() {
+    // On a chain, the immediate local instalment of the first hop arrives
+    // well before deep data has travelled the whole chain.
+    let mut net = build(&chain_config(6, 4));
+    // Seed data at EVERY node so the first instalment is non-empty.
+    for i in 1..6 {
+        let id = net.node_id(&format!("node{i}")).unwrap();
+        let node = net.sim_mut().peer_mut(id.peer()).unwrap();
+        for t in 0..4 {
+            node.insert_local("r", codb_relational::tup![1000 + i as i64 * 10 + t])
+                .unwrap();
+        }
+    }
+    let last = net.node_id("node5").unwrap();
+    let q = net.run_query_text(last, "ans(X) :- r(X).", true).unwrap();
+    assert_eq!(q.result.answers.len(), 24);
+    let rep = &net.node(last).report().queries[&q.query];
+    let first = rep.first_answer_at.expect("streamed");
+    let done = rep.finished_at.expect("finished");
+    assert!(
+        first < done,
+        "first instalment ({first:?}) must precede completion ({done:?})"
+    );
+    // Multiple instalments arrived on the single link.
+    assert!(rep.answers_received > 1, "got {}", rep.answers_received);
+}

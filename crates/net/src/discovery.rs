@@ -1,0 +1,122 @@
+//! Advertisement & discovery — the JXTA facility coDB uses so a node can
+//! show "which other nodes (not acquaintances) it has discovered".
+//!
+//! Peers publish [`Advertisement`]s on a network-wide board (the analogue
+//! of JXTA's rendezvous/advertisement caches) and read a snapshot of the
+//! board from their callback [`crate::peer::Context`].
+
+use crate::peer::PeerId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// What kind of resource an advertisement describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AdKind {
+    /// A peer announcing its presence.
+    Peer,
+    /// A named service offered by a peer (e.g. coDB's super-peer service).
+    Service,
+}
+
+/// One advertisement.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Advertisement {
+    /// Publishing peer.
+    pub peer: PeerId,
+    /// Resource kind.
+    pub kind: AdKind,
+    /// Resource name (e.g. `"codb-node"`, `"super-peer"`).
+    pub name: String,
+}
+
+impl Advertisement {
+    /// A plain peer advertisement.
+    pub fn peer(peer: PeerId, name: impl Into<String>) -> Self {
+        Advertisement { peer, kind: AdKind::Peer, name: name.into() }
+    }
+
+    /// A service advertisement.
+    pub fn service(peer: PeerId, name: impl Into<String>) -> Self {
+        Advertisement { peer, kind: AdKind::Service, name: name.into() }
+    }
+}
+
+/// The network-wide advertisement board. One entry per (peer, kind, name);
+/// re-advertising is idempotent. Entries of a peer vanish when it leaves.
+#[derive(Clone, Debug, Default)]
+pub struct Board {
+    ads: BTreeMap<(PeerId, AdKind, String), Advertisement>,
+    /// Flat snapshot handed to contexts; rebuilt on change.
+    snapshot: Vec<Advertisement>,
+}
+
+impl Board {
+    /// Empty board.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publishes an advertisement (idempotent).
+    pub fn publish(&mut self, ad: Advertisement) {
+        self.ads
+            .insert((ad.peer, ad.kind, ad.name.clone()), ad);
+        self.rebuild();
+    }
+
+    /// Removes all advertisements of `peer` (peer left the network).
+    pub fn retract_peer(&mut self, peer: PeerId) {
+        self.ads.retain(|(p, _, _), _| *p != peer);
+        self.rebuild();
+    }
+
+    /// Current snapshot, ordered deterministically.
+    pub fn snapshot(&self) -> &[Advertisement] {
+        &self.snapshot
+    }
+
+    /// Advertisements matching a kind and name.
+    pub fn find(&self, kind: AdKind, name: &str) -> Vec<&Advertisement> {
+        self.snapshot
+            .iter()
+            .filter(|a| a.kind == kind && a.name == name)
+            .collect()
+    }
+
+    fn rebuild(&mut self) {
+        self.snapshot = self.ads.values().cloned().collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_is_idempotent() {
+        let mut b = Board::new();
+        b.publish(Advertisement::peer(PeerId(1), "codb-node"));
+        b.publish(Advertisement::peer(PeerId(1), "codb-node"));
+        assert_eq!(b.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn retract_removes_all_of_peer() {
+        let mut b = Board::new();
+        b.publish(Advertisement::peer(PeerId(1), "codb-node"));
+        b.publish(Advertisement::service(PeerId(1), "super-peer"));
+        b.publish(Advertisement::peer(PeerId(2), "codb-node"));
+        b.retract_peer(PeerId(1));
+        assert_eq!(b.snapshot().len(), 1);
+        assert_eq!(b.snapshot()[0].peer, PeerId(2));
+    }
+
+    #[test]
+    fn find_filters_kind_and_name() {
+        let mut b = Board::new();
+        b.publish(Advertisement::peer(PeerId(1), "codb-node"));
+        b.publish(Advertisement::service(PeerId(2), "super-peer"));
+        assert_eq!(b.find(AdKind::Service, "super-peer").len(), 1);
+        assert_eq!(b.find(AdKind::Peer, "super-peer").len(), 0);
+        assert_eq!(b.find(AdKind::Peer, "codb-node")[0].peer, PeerId(1));
+    }
+}

@@ -1,0 +1,35 @@
+//! # codb-net
+//!
+//! The network substrate of the coDB reproduction: a substitute for the
+//! JXTA middleware the paper builds on. It provides the JXTA facilities
+//! coDB actually uses — peer identity, point-to-point *pipes*, message
+//! envelopes, advertisement/discovery — over two interchangeable runtimes:
+//!
+//! * [`sim::SimNet`] — a **deterministic discrete-event simulator** with a
+//!   per-pipe latency / bandwidth / loss model and a seeded RNG. All
+//!   experiments run here: message counts, propagation paths and relative
+//!   timings are functions of the protocol, and runs are reproducible.
+//! * [`parallel::ParallelNet`] — a threaded runtime (crossbeam channels,
+//!   one OS thread per peer) proving the same state machines survive real
+//!   asynchrony.
+//!
+//! Peers implement [`peer::Peer`] and interact with either runtime through
+//! [`peer::Context`] commands only.
+
+#![warn(missing_docs)]
+
+pub mod discovery;
+pub mod parallel;
+pub mod peer;
+pub mod pipe;
+pub mod sim;
+pub mod stats;
+pub mod time;
+
+pub use discovery::{AdKind, Advertisement, Board};
+pub use parallel::ParallelNet;
+pub use peer::{Command, Context, Payload, Peer, PeerId};
+pub use pipe::PipeConfig;
+pub use sim::{SimConfig, SimNet, TraceEntry};
+pub use stats::{NetStats, PipeStats};
+pub use time::SimTime;

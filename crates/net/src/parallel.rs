@@ -1,0 +1,352 @@
+//! Threaded runtime: the same [`Peer`] state machines as the simulator, run
+//! on real OS threads with crossbeam channels.
+//!
+//! This runtime exists to demonstrate that the coDB node logic is not
+//! simulator-only: every peer runs on its own thread, sends are real
+//! cross-thread messages, and delivery order is whatever the scheduler
+//! produces. It deliberately omits the latency/bandwidth/loss model — it
+//! answers "does the protocol tolerate true asynchrony?", not "how long
+//! does it take on a given network?".
+
+use crate::discovery::{Advertisement, Board};
+use crate::peer::{Command, Context, Payload, Peer, PeerId};
+use crate::time::SimTime;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::RwLock;
+use std::collections::{BinaryHeap, BTreeMap, HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+enum Mail<M> {
+    Msg { from: PeerId, msg: M },
+    Shutdown,
+}
+
+struct Shared<M> {
+    router: RwLock<HashMap<PeerId, Sender<Mail<M>>>>,
+    pipes: RwLock<HashSet<(PeerId, PeerId)>>,
+    board: RwLock<Board>,
+    /// Messages sent but not yet fully processed + timers pending.
+    in_flight: AtomicU64,
+    undeliverable: AtomicU64,
+    delivered: AtomicU64,
+    epoch: Instant,
+}
+
+impl<M> Shared<M> {
+    fn now(&self) -> SimTime {
+        SimTime(self.epoch.elapsed().as_nanos() as u64)
+    }
+}
+
+/// The threaded runtime. Peers are added up front, work is injected, and
+/// [`ParallelNet::shutdown`] joins all threads and returns the
+/// final peer states for inspection.
+pub struct ParallelNet<M: Payload, P: Peer<M> + 'static> {
+    shared: Arc<Shared<M>>,
+    handles: BTreeMap<PeerId, JoinHandle<P>>,
+}
+
+impl<M: Payload, P: Peer<M> + 'static> Default for ParallelNet<M, P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M: Payload, P: Peer<M> + 'static> ParallelNet<M, P> {
+    /// Creates an empty runtime.
+    pub fn new() -> Self {
+        ParallelNet {
+            shared: Arc::new(Shared {
+                router: RwLock::new(HashMap::new()),
+                pipes: RwLock::new(HashSet::new()),
+                board: RwLock::new(Board::new()),
+                in_flight: AtomicU64::new(0),
+                undeliverable: AtomicU64::new(0),
+                delivered: AtomicU64::new(0),
+                epoch: Instant::now(),
+            }),
+            handles: BTreeMap::new(),
+        }
+    }
+
+    /// Opens a bidirectional pipe.
+    pub fn open_pipe(&self, a: PeerId, b: PeerId) {
+        let mut pipes = self.shared.pipes.write();
+        pipes.insert((a, b));
+        pipes.insert((b, a));
+    }
+
+    /// Closes a pipe (both directions).
+    pub fn close_pipe(&self, a: PeerId, b: PeerId) {
+        let mut pipes = self.shared.pipes.write();
+        pipes.remove(&(a, b));
+        pipes.remove(&(b, a));
+    }
+
+    /// Spawns `peer` on its own thread; `on_start` runs immediately there.
+    pub fn add_peer(&mut self, id: PeerId, mut peer: P) {
+        let (tx, rx): (Sender<Mail<M>>, Receiver<Mail<M>>) = unbounded();
+        self.shared.router.write().insert(id, tx);
+        let shared = Arc::clone(&self.shared);
+        let handle = std::thread::spawn(move || {
+            // (fire_at, timer-id) min-heap via Reverse ordering.
+            let mut timers: BinaryHeap<std::cmp::Reverse<(SimTime, u64)>> = BinaryHeap::new();
+            // on_start
+            let new_timers = {
+                let ads = shared.board.read().snapshot().to_vec();
+                let mut ctx = Context::new(id, shared.now(), &ads);
+                peer.on_start(&mut ctx);
+                let cmds = ctx.take_commands();
+                let mut pending = Vec::new();
+                apply(id, &shared, cmds, &mut |at, timer| pending.push((at, timer)));
+                pending
+            };
+            for (at, t) in new_timers {
+                timers.push(std::cmp::Reverse((at, t)));
+            }
+            loop {
+                // Fire due timers.
+                let now = shared.now();
+                let mut due = Vec::new();
+                while let Some(&std::cmp::Reverse((at, t))) = timers.peek() {
+                    if at <= now {
+                        timers.pop();
+                        due.push(t);
+                    } else {
+                        break;
+                    }
+                }
+                for t in due {
+                    let ads = shared.board.read().snapshot().to_vec();
+                    let mut ctx = Context::new(id, shared.now(), &ads);
+                    peer.on_timer(&mut ctx, t);
+                    let cmds = ctx.take_commands();
+                    let mut pending = Vec::new();
+                    apply(id, &shared, cmds, &mut |at, timer| pending.push((at, timer)));
+                    for (at, timer) in pending {
+                        timers.push(std::cmp::Reverse((at, timer)));
+                    }
+                    shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+                }
+                // Wait for mail until the next timer (or 10ms).
+                let timeout = timers
+                    .peek()
+                    .map(|&std::cmp::Reverse((at, _))| {
+                        Duration::from_nanos(at.saturating_sub(shared.now()).as_nanos())
+                    })
+                    .unwrap_or(Duration::from_millis(10));
+                match rx.recv_timeout(timeout) {
+                    Ok(Mail::Msg { from, msg }) => {
+                        shared.delivered.fetch_add(1, Ordering::SeqCst);
+                        let ads = shared.board.read().snapshot().to_vec();
+                        let mut ctx = Context::new(id, shared.now(), &ads);
+                        peer.on_message(&mut ctx, from, msg);
+                        let cmds = ctx.take_commands();
+                        let mut pending = Vec::new();
+                        apply(id, &shared, cmds, &mut |at, timer| pending.push((at, timer)));
+                        for (at, timer) in pending {
+                            timers.push(std::cmp::Reverse((at, timer)));
+                        }
+                        shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+                    }
+                    Ok(Mail::Shutdown) => break,
+                    Err(_) => { /* timeout: loop to fire timers */ }
+                }
+            }
+            peer
+        });
+        self.handles.insert(id, handle);
+    }
+
+    /// Injects a message from the harness; counts toward in-flight work.
+    pub fn inject(&self, from: PeerId, to: PeerId, msg: M) {
+        let router = self.shared.router.read();
+        if let Some(tx) = router.get(&to) {
+            self.shared.in_flight.fetch_add(1, Ordering::SeqCst);
+            let _ = tx.send(Mail::Msg { from, msg });
+        } else {
+            self.shared.undeliverable.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Blocks until no message or timer has been in flight for
+    /// `settle` consecutive checks, or until `deadline` elapses.
+    /// Returns `true` on quiescence.
+    pub fn await_quiescence(&self, settle: Duration, deadline: Duration) -> bool {
+        let start = Instant::now();
+        let mut calm_since: Option<Instant> = None;
+        loop {
+            let busy = self.shared.in_flight.load(Ordering::SeqCst) > 0;
+            if busy {
+                calm_since = None;
+            } else {
+                let since = *calm_since.get_or_insert_with(Instant::now);
+                if since.elapsed() >= settle {
+                    return true;
+                }
+            }
+            if start.elapsed() > deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// Messages delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.shared.delivered.load(Ordering::SeqCst)
+    }
+
+    /// Sends without an open pipe.
+    pub fn undeliverable(&self) -> u64 {
+        self.shared.undeliverable.load(Ordering::SeqCst)
+    }
+
+    /// Publishes an advertisement from the harness.
+    pub fn advertise(&self, ad: Advertisement) {
+        self.shared.board.write().publish(ad);
+    }
+
+    /// Stops every peer thread and returns the final peer states.
+    pub fn shutdown(mut self) -> BTreeMap<PeerId, P> {
+        {
+            let router = self.shared.router.read();
+            for tx in router.values() {
+                let _ = tx.send(Mail::Shutdown);
+            }
+        }
+        let mut out = BTreeMap::new();
+        for (id, handle) in std::mem::take(&mut self.handles) {
+            if let Ok(peer) = handle.join() {
+                out.insert(id, peer);
+            }
+        }
+        out
+    }
+}
+
+/// Applies peer commands against the shared runtime state. Timer requests
+/// are reported back through `on_timer_set` because the per-peer timer heap
+/// lives on the peer thread.
+fn apply<M: Payload>(
+    origin: PeerId,
+    shared: &Shared<M>,
+    commands: Vec<Command<M>>,
+    on_timer_set: &mut dyn FnMut(SimTime, u64),
+) {
+    for cmd in commands {
+        match cmd {
+            Command::Send { to, msg } => {
+                let has_pipe = shared.pipes.read().contains(&(origin, to));
+                if !has_pipe {
+                    shared.undeliverable.fetch_add(1, Ordering::SeqCst);
+                    continue;
+                }
+                let router = shared.router.read();
+                match router.get(&to) {
+                    Some(tx) => {
+                        shared.in_flight.fetch_add(1, Ordering::SeqCst);
+                        let _ = tx.send(Mail::Msg { from: origin, msg });
+                    }
+                    None => {
+                        shared.undeliverable.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+            }
+            Command::SetTimer { delay, timer } => {
+                shared.in_flight.fetch_add(1, Ordering::SeqCst);
+                on_timer_set(shared.now() + delay, timer);
+            }
+            Command::OpenPipe { with, .. } => {
+                let mut pipes = shared.pipes.write();
+                pipes.insert((origin, with));
+                pipes.insert((with, origin));
+            }
+            Command::ClosePipe { with } => {
+                let mut pipes = shared.pipes.write();
+                pipes.remove(&(origin, with));
+                pipes.remove(&(with, origin));
+            }
+            Command::Advertise(ad) => shared.board.write().publish(ad),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug)]
+    struct Token(u32);
+    impl Payload for Token {
+        fn size_bytes(&self) -> usize {
+            4
+        }
+    }
+
+    struct Counter {
+        next: PeerId,
+        seen: u32,
+    }
+
+    impl Peer<Token> for Counter {
+        fn on_message(&mut self, ctx: &mut Context<Token>, _from: PeerId, msg: Token) {
+            self.seen += 1;
+            if msg.0 > 0 {
+                ctx.send(self.next, Token(msg.0 - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn token_ring_under_threads() {
+        let mut net: ParallelNet<Token, Counter> = ParallelNet::new();
+        let n = 4u64;
+        for i in 0..n {
+            net.add_peer(PeerId(i), Counter { next: PeerId((i + 1) % n), seen: 0 });
+        }
+        for i in 0..n {
+            net.open_pipe(PeerId(i), PeerId((i + 1) % n));
+        }
+        net.inject(PeerId(n - 1), PeerId(0), Token(15));
+        assert!(net.await_quiescence(Duration::from_millis(50), Duration::from_secs(5)));
+        let peers = net.shutdown();
+        let total: u32 = peers.values().map(|p| p.seen).sum();
+        assert_eq!(total, 16);
+    }
+
+    #[test]
+    fn send_without_pipe_counted() {
+        let mut net: ParallelNet<Token, Counter> = ParallelNet::new();
+        net.add_peer(PeerId(0), Counter { next: PeerId(1), seen: 0 });
+        // No pipe 0->1 and no peer 1.
+        net.inject(PeerId(9), PeerId(0), Token(1));
+        assert!(net.await_quiescence(Duration::from_millis(50), Duration::from_secs(5)));
+        assert_eq!(net.undeliverable(), 1);
+        net.shutdown();
+    }
+
+    #[test]
+    fn timers_fire_on_threads() {
+        struct Timed {
+            fired: bool,
+        }
+        impl Peer<Token> for Timed {
+            fn on_start(&mut self, ctx: &mut Context<Token>) {
+                ctx.set_timer(SimTime::from_millis(5), 1);
+            }
+            fn on_message(&mut self, _: &mut Context<Token>, _: PeerId, _: Token) {}
+            fn on_timer(&mut self, _: &mut Context<Token>, _: u64) {
+                self.fired = true;
+            }
+        }
+        let mut net: ParallelNet<Token, Timed> = ParallelNet::new();
+        net.add_peer(PeerId(0), Timed { fired: false });
+        assert!(net.await_quiescence(Duration::from_millis(50), Duration::from_secs(5)));
+        let peers = net.shutdown();
+        assert!(peers[&PeerId(0)].fired);
+    }
+}

@@ -1,0 +1,668 @@
+//! The deterministic discrete-event network simulator.
+//!
+//! [`SimNet`] owns the peers, the pipes, an advertisement board, a seeded
+//! RNG (for the loss model) and a priority queue of events. Peers are
+//! state machines ([`Peer`]); every callback may emit commands which the
+//! simulator applies — sends become future `Deliver` events delayed by the
+//! pipe's latency/bandwidth model, timers become `Timer` events.
+//!
+//! Determinism: identical seeds and identical call sequences produce
+//! identical runs (events are ordered by `(time, sequence-number)`, and all
+//! internal maps iterate in a stable order).
+
+use crate::discovery::{Advertisement, Board};
+use crate::peer::{Command, Context, Payload, Peer, PeerId};
+use crate::pipe::{PipeConfig, PipeState};
+use crate::stats::NetStats;
+use crate::time::SimTime;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
+
+/// Simulator configuration.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Seed for the loss model RNG.
+    pub seed: u64,
+    /// Pipe parameters used by [`SimNet::open_pipe_default`].
+    pub default_pipe: PipeConfig,
+    /// Safety valve: abort after this many events (0 = unlimited).
+    pub max_events: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig { seed: 0xC0DB, default_pipe: PipeConfig::lan(), max_events: 0 }
+    }
+}
+
+enum EventKind<M> {
+    Start(PeerId),
+    Deliver { from: PeerId, to: PeerId, msg: M },
+    Timer { peer: PeerId, timer: u64 },
+}
+
+struct Event<M> {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// One recorded message delivery (when tracing is enabled).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Delivery time.
+    pub at: SimTime,
+    /// Sender.
+    pub from: PeerId,
+    /// Receiver.
+    pub to: PeerId,
+    /// Payload size.
+    pub bytes: usize,
+}
+
+/// The deterministic discrete-event network. Generic over the payload type
+/// `M` and the (homogeneous) peer type `P`, so harnesses retain typed
+/// access to peer state after a run.
+pub struct SimNet<M: Payload, P: Peer<M>> {
+    peers: BTreeMap<PeerId, P>,
+    pipes: HashMap<(PeerId, PeerId), (PipeConfig, PipeState)>,
+    board: Board,
+    queue: BinaryHeap<Event<M>>,
+    now: SimTime,
+    seq: u64,
+    rng: SmallRng,
+    stats: NetStats,
+    config: SimConfig,
+    events_processed: u64,
+    trace: Option<Vec<TraceEntry>>,
+}
+
+impl<M: Payload, P: Peer<M>> SimNet<M, P> {
+    /// Creates an empty network.
+    pub fn new(config: SimConfig) -> Self {
+        SimNet {
+            peers: BTreeMap::new(),
+            pipes: HashMap::new(),
+            board: Board::new(),
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            rng: SmallRng::seed_from_u64(config.seed),
+            stats: NetStats::default(),
+            config,
+            events_processed: 0,
+            trace: None,
+        }
+    }
+
+    /// Enables per-delivery tracing (for tests and message-level reports).
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// The recorded trace, if tracing is enabled.
+    pub fn trace(&self) -> Option<&[TraceEntry]> {
+        self.trace.as_deref()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Network statistics (ground truth).
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Immutable access to a peer's state machine.
+    pub fn peer(&self, id: PeerId) -> Option<&P> {
+        self.peers.get(&id)
+    }
+
+    /// Mutable access to a peer's state machine (between events).
+    pub fn peer_mut(&mut self, id: PeerId) -> Option<&mut P> {
+        self.peers.get_mut(&id)
+    }
+
+    /// Iterates over `(id, peer)` pairs in id order.
+    pub fn peers(&self) -> impl Iterator<Item = (PeerId, &P)> {
+        self.peers.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Ids of all live peers.
+    pub fn peer_ids(&self) -> Vec<PeerId> {
+        self.peers.keys().copied().collect()
+    }
+
+    fn push(&mut self, at: SimTime, kind: EventKind<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Event { at, seq, kind });
+    }
+
+    /// Adds a peer; its [`Peer::on_start`] runs at the current time.
+    pub fn add_peer(&mut self, id: PeerId, peer: P) {
+        self.peers.insert(id, peer);
+        self.push(self.now, EventKind::Start(id));
+    }
+
+    /// Removes a peer: its pipes close, its advertisements are retracted,
+    /// and in-flight messages to it are discarded at delivery time.
+    /// Returns the peer state, if it existed.
+    pub fn remove_peer(&mut self, id: PeerId) -> Option<P> {
+        self.pipes.retain(|(a, b), _| *a != id && *b != id);
+        self.board.retract_peer(id);
+        self.peers.remove(&id)
+    }
+
+    /// Opens a bidirectional pipe between `a` and `b`.
+    pub fn open_pipe(&mut self, a: PeerId, b: PeerId, config: PipeConfig) {
+        self.pipes.insert((a, b), (config, PipeState::default()));
+        self.pipes.insert((b, a), (config, PipeState::default()));
+    }
+
+    /// Opens a pipe with the configured default parameters.
+    pub fn open_pipe_default(&mut self, a: PeerId, b: PeerId) {
+        self.open_pipe(a, b, self.config.default_pipe);
+    }
+
+    /// Closes the pipe between `a` and `b` (both directions). Messages
+    /// already in flight are still delivered.
+    pub fn close_pipe(&mut self, a: PeerId, b: PeerId) {
+        self.pipes.remove(&(a, b));
+        self.pipes.remove(&(b, a));
+    }
+
+    /// True iff a pipe exists from `a` to `b`.
+    pub fn has_pipe(&self, a: PeerId, b: PeerId) -> bool {
+        self.pipes.contains_key(&(a, b))
+    }
+
+    /// Injects a message from outside the network (e.g. a test harness
+    /// acting as a user at node `to`). Delivered at the current time with
+    /// `from` as the apparent sender; no pipe required. Counted as a sent
+    /// message so `sent == delivered + dropped` holds network-wide.
+    pub fn inject(&mut self, from: PeerId, to: PeerId, msg: M) {
+        self.stats.record_sent(from, to, msg.size_bytes());
+        self.push(self.now, EventKind::Deliver { from, to, msg });
+    }
+
+    /// Publishes an advertisement from the harness.
+    pub fn advertise(&mut self, ad: Advertisement) {
+        self.board.publish(ad);
+    }
+
+    /// The advertisement board.
+    pub fn board(&self) -> &Board {
+        &self.board
+    }
+
+    fn apply_commands(&mut self, origin: PeerId, commands: Vec<Command<M>>) {
+        for cmd in commands {
+            match cmd {
+                Command::Send { to, msg } => {
+                    let bytes = msg.size_bytes();
+                    match self.pipes.get_mut(&(origin, to)) {
+                        None => self.stats.record_undeliverable(),
+                        Some((config, state)) => {
+                            self.stats.record_sent(origin, to, bytes);
+                            let loss = config.loss;
+                            let start = self.now.max(state.busy_until);
+                            let done = start + config.transmission_time(bytes);
+                            state.busy_until = done;
+                            let arrival = done + config.latency;
+                            if loss > 0.0 && self.rng.gen::<f64>() < loss {
+                                self.stats.record_dropped(origin, to);
+                            } else {
+                                self.push(
+                                    arrival,
+                                    EventKind::Deliver { from: origin, to, msg },
+                                );
+                            }
+                        }
+                    }
+                }
+                Command::SetTimer { delay, timer } => {
+                    self.push(self.now + delay, EventKind::Timer { peer: origin, timer });
+                }
+                Command::OpenPipe { with, config } => self.open_pipe(origin, with, config),
+                Command::ClosePipe { with } => self.close_pipe(origin, with),
+                Command::Advertise(ad) => self.board.publish(ad),
+            }
+        }
+    }
+
+    /// Processes one event. Returns `false` when the queue is empty or the
+    /// event budget is exhausted.
+    pub fn step(&mut self) -> bool {
+        if self.config.max_events != 0 && self.events_processed >= self.config.max_events {
+            return false;
+        }
+        let Some(ev) = self.queue.pop() else { return false };
+        debug_assert!(ev.at >= self.now, "time must be monotone");
+        self.now = ev.at;
+        self.events_processed += 1;
+        // The board snapshot is cloned so the peer callback can't observe
+        // its own command effects mid-callback.
+        let snapshot: Vec<Advertisement> = self.board.snapshot().to_vec();
+        match ev.kind {
+            EventKind::Start(id) => {
+                if let Some(peer) = self.peers.get_mut(&id) {
+                    let mut ctx = Context::new(id, self.now, &snapshot);
+                    peer.on_start(&mut ctx);
+                    let cmds = ctx.take_commands();
+                    self.apply_commands(id, cmds);
+                }
+            }
+            EventKind::Deliver { from, to, msg } => {
+                if let Some(peer) = self.peers.get_mut(&to) {
+                    self.stats.record_delivered(from, to);
+                    if let Some(trace) = &mut self.trace {
+                        trace.push(TraceEntry {
+                            at: self.now,
+                            from,
+                            to,
+                            bytes: msg.size_bytes(),
+                        });
+                    }
+                    let mut ctx = Context::new(to, self.now, &snapshot);
+                    peer.on_message(&mut ctx, from, msg);
+                    let cmds = ctx.take_commands();
+                    self.apply_commands(to, cmds);
+                }
+                // Peer gone: the in-flight message is silently discarded,
+                // matching a crashed JXTA peer.
+            }
+            EventKind::Timer { peer: id, timer } => {
+                if let Some(peer) = self.peers.get_mut(&id) {
+                    let mut ctx = Context::new(id, self.now, &snapshot);
+                    peer.on_timer(&mut ctx, timer);
+                    let cmds = ctx.take_commands();
+                    self.apply_commands(id, cmds);
+                }
+            }
+        }
+        true
+    }
+
+    /// Runs until no events remain (quiescence) or the event budget is
+    /// exhausted. Returns the final simulated time.
+    pub fn run_until_quiescent(&mut self) -> SimTime {
+        while self.step() {}
+        self.now
+    }
+
+    /// Runs while the next event is at or before `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
+        while let Some(ev) = self.queue.peek() {
+            if ev.at > deadline {
+                break;
+            }
+            if !self.step() {
+                break;
+            }
+        }
+        self.now = self.now.max(deadline.min(self.now.max(deadline)));
+        self.now
+    }
+
+    /// True iff no events are pending.
+    pub fn is_quiescent(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug)]
+    struct Ping(u32, usize);
+
+    impl Payload for Ping {
+        fn size_bytes(&self) -> usize {
+            self.1
+        }
+    }
+
+    /// Relays every message to `next` until the hop counter reaches zero.
+    struct Relay {
+        next: PeerId,
+        received: Vec<u32>,
+        start_with: Option<u32>,
+    }
+
+    impl Peer<Ping> for Relay {
+        fn on_start(&mut self, ctx: &mut Context<Ping>) {
+            if let Some(hops) = self.start_with {
+                ctx.send(self.next, Ping(hops, 100));
+            }
+        }
+        fn on_message(&mut self, ctx: &mut Context<Ping>, _from: PeerId, msg: Ping) {
+            self.received.push(msg.0);
+            if msg.0 > 0 {
+                ctx.send(self.next, Ping(msg.0 - 1, msg.1));
+            }
+        }
+    }
+
+    fn ring(n: u64, hops: u32) -> SimNet<Ping, Relay> {
+        let mut net = SimNet::new(SimConfig::default());
+        for i in 0..n {
+            let next = PeerId((i + 1) % n);
+            net.add_peer(
+                PeerId(i),
+                Relay { next, received: vec![], start_with: (i == 0).then_some(hops) },
+            );
+        }
+        for i in 0..n {
+            net.open_pipe_default(PeerId(i), PeerId((i + 1) % n));
+        }
+        net
+    }
+
+    #[test]
+    fn messages_travel_the_ring() {
+        let mut net = ring(4, 7);
+        let end = net.run_until_quiescent();
+        // 8 deliveries of 1ms latency each.
+        assert_eq!(end, SimTime::from_millis(8));
+        assert_eq!(net.stats().delivered, 8);
+        assert_eq!(net.peer(PeerId(1)).unwrap().received, vec![7, 3]);
+        assert_eq!(net.peer(PeerId(0)).unwrap().received, vec![4, 0]);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let run = || {
+            let mut net = ring(5, 20);
+            net.enable_trace();
+            net.run_until_quiescent();
+            (net.now(), net.stats().clone(), net.trace().unwrap().to_vec())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn latency_accumulates() {
+        let mut net: SimNet<Ping, Relay> = SimNet::new(SimConfig::default());
+        net.add_peer(PeerId(0), Relay { next: PeerId(1), received: vec![], start_with: Some(0) });
+        net.add_peer(PeerId(1), Relay { next: PeerId(0), received: vec![], start_with: None });
+        net.open_pipe(PeerId(0), PeerId(1), PipeConfig::lan().with_latency(SimTime::from_millis(25)));
+        let end = net.run_until_quiescent();
+        assert_eq!(end, SimTime::from_millis(25));
+    }
+
+    #[test]
+    fn bandwidth_serializes_messages() {
+        // Two 1000-byte messages over a 1000 B/s pipe: the second waits for
+        // the first to finish transmitting.
+        struct Burst {
+            to: PeerId,
+        }
+        impl Peer<Ping> for Burst {
+            fn on_start(&mut self, ctx: &mut Context<Ping>) {
+                ctx.send(self.to, Ping(0, 1000));
+                ctx.send(self.to, Ping(0, 1000));
+            }
+            fn on_message(&mut self, _: &mut Context<Ping>, _: PeerId, _: Ping) {}
+        }
+        #[allow(clippy::type_complexity)]
+        let mut net: SimNet<Ping, Burst> = {
+            let mut n = SimNet::new(SimConfig::default());
+            n.add_peer(PeerId(0), Burst { to: PeerId(1) });
+            n.add_peer(PeerId(1), Burst { to: PeerId(0) });
+            n.open_pipe(
+                PeerId(0),
+                PeerId(1),
+                PipeConfig { latency: SimTime::ZERO, bandwidth_bytes_per_sec: Some(1000), loss: 0.0 },
+            );
+            n
+        };
+        net.enable_trace();
+        let end = net.run_until_quiescent();
+        assert_eq!(end, SimTime::from_secs(2));
+        // Per direction, the second message waits for the first to finish
+        // transmitting.
+        let forward: Vec<SimTime> = net
+            .trace()
+            .unwrap()
+            .iter()
+            .filter(|t| t.from == PeerId(0))
+            .map(|t| t.at)
+            .collect();
+        assert_eq!(forward, vec![SimTime::from_secs(1), SimTime::from_secs(2)]);
+    }
+
+    #[test]
+    fn loss_drops_deterministically() {
+        let mut net: SimNet<Ping, Relay> = SimNet::new(SimConfig { seed: 1, ..Default::default() });
+        net.add_peer(PeerId(0), Relay { next: PeerId(1), received: vec![], start_with: None });
+        net.add_peer(PeerId(1), Relay { next: PeerId(0), received: vec![], start_with: None });
+        net.open_pipe(PeerId(0), PeerId(1), PipeConfig::lan().with_loss(0.5));
+        // Fire 100 one-hop messages from outside.
+        for _ in 0..100 {
+            net.inject(PeerId(1), PeerId(0), Ping(1, 10));
+        }
+        net.run_until_quiescent();
+        let dropped = net.stats().dropped;
+        assert!(dropped > 20 && dropped < 80, "loss ~50%, got {dropped}");
+        // Deliveries + drops account for every peer-sent message.
+        assert_eq!(net.stats().sent, net.stats().delivered + net.stats().dropped);
+    }
+
+    #[test]
+    fn send_without_pipe_is_undeliverable() {
+        let mut net: SimNet<Ping, Relay> = SimNet::new(SimConfig::default());
+        net.add_peer(PeerId(0), Relay { next: PeerId(9), received: vec![], start_with: Some(1) });
+        net.run_until_quiescent();
+        assert_eq!(net.stats().undeliverable, 1);
+        assert_eq!(net.stats().sent, 0);
+    }
+
+    #[test]
+    fn removed_peer_discards_in_flight() {
+        let mut net = ring(3, 10);
+        // Let the first hop get scheduled, then remove the receiver.
+        net.step(); // start of peer 0 → send to 1 in flight
+        net.remove_peer(PeerId(1));
+        net.run_until_quiescent();
+        assert_eq!(net.stats().delivered, 0);
+        assert!(!net.has_pipe(PeerId(0), PeerId(1)));
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        struct Timed {
+            fired: Vec<u64>,
+        }
+        impl Peer<Ping> for Timed {
+            fn on_start(&mut self, ctx: &mut Context<Ping>) {
+                ctx.set_timer(SimTime::from_millis(10), 1);
+                ctx.set_timer(SimTime::from_millis(5), 2);
+            }
+            fn on_message(&mut self, _: &mut Context<Ping>, _: PeerId, _: Ping) {}
+            fn on_timer(&mut self, _: &mut Context<Ping>, t: u64) {
+                self.fired.push(t);
+            }
+        }
+        let mut net: SimNet<Ping, Timed> = SimNet::new(SimConfig::default());
+        net.add_peer(PeerId(0), Timed { fired: vec![] });
+        let end = net.run_until_quiescent();
+        assert_eq!(net.peer(PeerId(0)).unwrap().fired, vec![2, 1]);
+        assert_eq!(end, SimTime::from_millis(10));
+    }
+
+    #[test]
+    fn max_events_bounds_runaway() {
+        // Peer 0 and 1 ping forever (hop count never reaches 0 because we
+        // reset it).
+        struct Forever {
+            other: PeerId,
+        }
+        impl Peer<Ping> for Forever {
+            fn on_start(&mut self, ctx: &mut Context<Ping>) {
+                ctx.send(self.other, Ping(1, 10));
+            }
+            fn on_message(&mut self, ctx: &mut Context<Ping>, _: PeerId, _: Ping) {
+                ctx.send(self.other, Ping(1, 10));
+            }
+        }
+        let mut net: SimNet<Ping, Forever> =
+            SimNet::new(SimConfig { max_events: 50, ..Default::default() });
+        net.add_peer(PeerId(0), Forever { other: PeerId(1) });
+        net.add_peer(PeerId(1), Forever { other: PeerId(0) });
+        net.open_pipe_default(PeerId(0), PeerId(1));
+        net.run_until_quiescent();
+        assert_eq!(net.events_processed(), 50);
+    }
+
+    #[test]
+    fn advertisements_visible_to_peers() {
+        struct Looker {
+            seen: usize,
+        }
+        impl Peer<Ping> for Looker {
+            fn on_start(&mut self, ctx: &mut Context<Ping>) {
+                ctx.advertise(Advertisement::peer(ctx.self_id(), "codb-node"));
+                ctx.set_timer(SimTime::from_millis(1), 0);
+            }
+            fn on_message(&mut self, _: &mut Context<Ping>, _: PeerId, _: Ping) {}
+            fn on_timer(&mut self, ctx: &mut Context<Ping>, _: u64) {
+                self.seen = ctx.discover().len();
+            }
+        }
+        let mut net: SimNet<Ping, Looker> = SimNet::new(SimConfig::default());
+        net.add_peer(PeerId(0), Looker { seen: 0 });
+        net.add_peer(PeerId(1), Looker { seen: 0 });
+        net.run_until_quiescent();
+        assert_eq!(net.peer(PeerId(0)).unwrap().seen, 2);
+        assert_eq!(net.board().snapshot().len(), 2);
+    }
+
+    #[test]
+    fn inject_reaches_peer_without_pipe() {
+        let mut net = ring(2, 0);
+        net.run_until_quiescent();
+        net.inject(PeerId(99), PeerId(0), Ping(0, 5));
+        net.run_until_quiescent();
+        assert_eq!(net.peer(PeerId(0)).unwrap().received.last(), Some(&0));
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut net = ring(4, 100);
+        net.run_until(SimTime::from_millis(3));
+        assert!(net.now() <= SimTime::from_millis(3));
+        assert!(!net.is_quiescent());
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use super::tests_support::*;
+
+    #[test]
+    fn peer_joining_mid_run_participates() {
+        let mut net: SimNet<Msg, Echo> = SimNet::new(SimConfig::default());
+        net.add_peer(PeerId(0), Echo::default());
+        net.run_until_quiescent();
+        // Join later; the simulated clock keeps running monotonically.
+        net.add_peer(PeerId(1), Echo::default());
+        net.open_pipe_default(PeerId(0), PeerId(1));
+        net.inject(PeerId(9), PeerId(1), Msg(3));
+        net.run_until_quiescent();
+        assert_eq!(net.peer(PeerId(1)).unwrap().got, vec![3]);
+        assert_eq!(net.peer_ids(), vec![PeerId(0), PeerId(1)]);
+    }
+
+    #[test]
+    fn pipe_reconfiguration_changes_latency() {
+        let mut net: SimNet<Msg, Echo> = SimNet::new(SimConfig::default());
+        net.add_peer(PeerId(0), Echo { forward: Some(PeerId(1)), ..Default::default() });
+        net.add_peer(PeerId(1), Echo::default());
+        net.open_pipe(PeerId(0), PeerId(1), PipeConfig::lan()); // 1ms
+        net.inject(PeerId(9), PeerId(0), Msg(1));
+        net.run_until_quiescent();
+        let t1 = net.now();
+        assert_eq!(t1, SimTime::from_millis(1));
+        // Re-open with 10x latency: replaces the config in place.
+        net.open_pipe(
+            PeerId(0),
+            PeerId(1),
+            PipeConfig::lan().with_latency(SimTime::from_millis(10)),
+        );
+        net.inject(PeerId(9), PeerId(0), Msg(2));
+        net.run_until_quiescent();
+        assert_eq!(net.now(), t1 + SimTime::from_millis(10));
+    }
+
+    #[test]
+    fn stats_bytes_match_payload_sizes() {
+        let mut net: SimNet<Msg, Echo> = SimNet::new(SimConfig::default());
+        net.add_peer(PeerId(0), Echo { forward: Some(PeerId(1)), ..Default::default() });
+        net.add_peer(PeerId(1), Echo::default());
+        net.open_pipe_default(PeerId(0), PeerId(1));
+        net.inject(PeerId(9), PeerId(0), Msg(5));
+        net.run_until_quiescent();
+        // inject (4 bytes) + forward (4 bytes).
+        assert_eq!(net.stats().bytes_sent, 8);
+        let pipe = net.stats().per_pipe[&(PeerId(0), PeerId(1))];
+        assert_eq!(pipe.bytes_sent, 4);
+    }
+}
+
+#[cfg(test)]
+mod tests_support {
+    use super::*;
+
+    #[derive(Clone, Debug)]
+    pub struct Msg(pub u32);
+    impl Payload for Msg {
+        fn size_bytes(&self) -> usize {
+            4
+        }
+    }
+
+    #[derive(Default)]
+    pub struct Echo {
+        pub got: Vec<u32>,
+        pub forward: Option<PeerId>,
+    }
+
+    impl Peer<Msg> for Echo {
+        fn on_message(&mut self, ctx: &mut Context<Msg>, _from: PeerId, msg: Msg) {
+            self.got.push(msg.0);
+            if let Some(to) = self.forward {
+                ctx.send(to, msg);
+            }
+        }
+    }
+}

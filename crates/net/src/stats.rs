@@ -1,0 +1,87 @@
+//! Network-level statistics: ground truth the coDB statistics module is
+//! validated against.
+
+use crate::peer::PeerId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Counters for one directed pipe.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PipeStats {
+    /// Messages handed to the pipe.
+    pub sent: u64,
+    /// Messages delivered to the destination peer.
+    pub delivered: u64,
+    /// Messages dropped by the loss model.
+    pub dropped: u64,
+    /// Payload bytes handed to the pipe.
+    pub bytes_sent: u64,
+}
+
+/// Whole-network counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetStats {
+    /// Total messages handed to pipes.
+    pub sent: u64,
+    /// Total messages delivered.
+    pub delivered: u64,
+    /// Total messages dropped by the loss model.
+    pub dropped: u64,
+    /// Messages sent without an open pipe (protocol bugs / churn races).
+    pub undeliverable: u64,
+    /// Total payload bytes handed to pipes.
+    pub bytes_sent: u64,
+    /// Per directed pipe counters.
+    pub per_pipe: BTreeMap<(PeerId, PeerId), PipeStats>,
+}
+
+impl NetStats {
+    /// Records a send attempt over `(from, to)`.
+    pub fn record_sent(&mut self, from: PeerId, to: PeerId, bytes: usize) {
+        self.sent += 1;
+        self.bytes_sent += bytes as u64;
+        let p = self.per_pipe.entry((from, to)).or_default();
+        p.sent += 1;
+        p.bytes_sent += bytes as u64;
+    }
+
+    /// Records a delivery over `(from, to)`.
+    pub fn record_delivered(&mut self, from: PeerId, to: PeerId) {
+        self.delivered += 1;
+        self.per_pipe.entry((from, to)).or_default().delivered += 1;
+    }
+
+    /// Records a loss-model drop over `(from, to)`.
+    pub fn record_dropped(&mut self, from: PeerId, to: PeerId) {
+        self.dropped += 1;
+        self.per_pipe.entry((from, to)).or_default().dropped += 1;
+    }
+
+    /// Records a send with no open pipe.
+    pub fn record_undeliverable(&mut self) {
+        self.undeliverable += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = NetStats::default();
+        s.record_sent(PeerId(1), PeerId(2), 100);
+        s.record_sent(PeerId(1), PeerId(2), 50);
+        s.record_delivered(PeerId(1), PeerId(2));
+        s.record_dropped(PeerId(1), PeerId(2));
+        s.record_undeliverable();
+        assert_eq!(s.sent, 2);
+        assert_eq!(s.bytes_sent, 150);
+        assert_eq!(s.delivered, 1);
+        assert_eq!(s.dropped, 1);
+        assert_eq!(s.undeliverable, 1);
+        let p = s.per_pipe[&(PeerId(1), PeerId(2))];
+        assert_eq!(p.sent, 2);
+        assert_eq!(p.bytes_sent, 150);
+    }
+}

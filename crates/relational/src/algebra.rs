@@ -1,0 +1,359 @@
+//! Relational-algebra operators over [`Relation`]s.
+//!
+//! The paper's Wrapper "executes input database manipulation operations …
+//! all required database operations (as join and project) are executed in
+//! Wrapper" when the LDB cannot. These operators are that Wrapper surface:
+//! selection, projection, natural join, union, difference and renaming,
+//! each deriving the result schema from its inputs.
+
+use crate::cq::CmpOp;
+use crate::relation::Relation;
+use crate::schema::{Column, RelationSchema, SchemaError};
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// Errors raised by algebra operators.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AlgebraError {
+    /// A column index is out of range.
+    ColumnOutOfRange {
+        /// The offending index.
+        column: usize,
+        /// The relation's arity.
+        arity: usize,
+    },
+    /// Union/difference operands have incompatible schemas.
+    SchemaMismatch,
+    /// A result tuple violated the derived schema (internal invariant).
+    Schema(SchemaError),
+}
+
+impl std::fmt::Display for AlgebraError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AlgebraError::ColumnOutOfRange { column, arity } => {
+                write!(f, "column {column} out of range for arity {arity}")
+            }
+            AlgebraError::SchemaMismatch => write!(f, "operand schemas are incompatible"),
+            AlgebraError::Schema(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for AlgebraError {}
+
+impl From<SchemaError> for AlgebraError {
+    fn from(e: SchemaError) -> Self {
+        AlgebraError::Schema(e)
+    }
+}
+
+fn check_col(rel: &Relation, column: usize) -> Result<(), AlgebraError> {
+    if column >= rel.arity() {
+        Err(AlgebraError::ColumnOutOfRange { column, arity: rel.arity() })
+    } else {
+        Ok(())
+    }
+}
+
+/// σ — keeps the tuples whose `column` satisfies `op` against `value`
+/// (marked-null comparison semantics of [`CmpOp::eval`]).
+pub fn select(
+    rel: &Relation,
+    column: usize,
+    op: CmpOp,
+    value: &Value,
+) -> Result<Relation, AlgebraError> {
+    check_col(rel, column)?;
+    let mut out = Relation::new(rel.schema().clone());
+    for t in rel.iter() {
+        if op.eval(&t[column], value) {
+            out.insert(t.clone())?;
+        }
+    }
+    Ok(out)
+}
+
+/// σ with an arbitrary predicate.
+pub fn select_where(
+    rel: &Relation,
+    name: impl Into<String>,
+    pred: impl Fn(&Tuple) -> bool,
+) -> Relation {
+    let mut schema = rel.schema().clone();
+    schema.name = name.into();
+    let mut out = Relation::new(schema);
+    for t in rel.iter() {
+        if pred(t) {
+            out.insert(t.clone()).expect("same schema");
+        }
+    }
+    out
+}
+
+/// π — projects onto `columns` (in the given order; duplicates allowed),
+/// with set semantics on the result.
+pub fn project(
+    rel: &Relation,
+    name: impl Into<String>,
+    columns: &[usize],
+) -> Result<Relation, AlgebraError> {
+    for &c in columns {
+        check_col(rel, c)?;
+    }
+    let cols = columns
+        .iter()
+        .map(|&c| rel.schema().columns[c].clone())
+        .collect::<Vec<_>>();
+    let mut out = Relation::new(RelationSchema::new(name, cols));
+    for t in rel.iter() {
+        let values = columns.iter().map(|&c| t[c].clone()).collect::<Vec<_>>();
+        out.insert(Tuple::new(values))?;
+    }
+    Ok(out)
+}
+
+/// ⋈ — equi-join on `left.column == right.column` pairs; the result
+/// concatenates the left tuple with the right tuple minus its join columns
+/// (natural-join column elimination). Hash join on the first pair.
+pub fn join(
+    left: &Relation,
+    right: &Relation,
+    name: impl Into<String>,
+    on: &[(usize, usize)],
+) -> Result<Relation, AlgebraError> {
+    assert!(!on.is_empty(), "join requires at least one column pair");
+    for &(l, r) in on {
+        check_col(left, l)?;
+        check_col(right, r)?;
+    }
+    let right_join_cols: Vec<usize> = on.iter().map(|&(_, r)| r).collect();
+    let mut cols = left.schema().columns.clone();
+    for (i, c) in right.schema().columns.iter().enumerate() {
+        if !right_join_cols.contains(&i) {
+            cols.push(Column::new(
+                format!("{}_{}", right.name(), c.name),
+                c.ty,
+            ));
+        }
+    }
+    let mut out = Relation::new(RelationSchema::new(name, cols));
+
+    // Hash the right side on its first join column.
+    let (l0, r0) = on[0];
+    let mut index: HashMap<&Value, Vec<&Tuple>> = HashMap::new();
+    for t in right.iter() {
+        index.entry(&t[r0]).or_default().push(t);
+    }
+    for lt in left.iter() {
+        let Some(candidates) = index.get(&lt[l0]) else { continue };
+        'cand: for rt in candidates {
+            for &(l, r) in &on[1..] {
+                if lt[l] != rt[r] {
+                    continue 'cand;
+                }
+            }
+            let mut values: Vec<Value> = lt.values().cloned().collect();
+            for (i, v) in rt.values().enumerate() {
+                if !right_join_cols.contains(&i) {
+                    values.push(v.clone());
+                }
+            }
+            out.insert(Tuple::new(values))?;
+        }
+    }
+    Ok(out)
+}
+
+fn compatible(a: &Relation, b: &Relation) -> Result<(), AlgebraError> {
+    let ta: Vec<_> = a.schema().columns.iter().map(|c| c.ty).collect();
+    let tb: Vec<_> = b.schema().columns.iter().map(|c| c.ty).collect();
+    if ta == tb {
+        Ok(())
+    } else {
+        Err(AlgebraError::SchemaMismatch)
+    }
+}
+
+/// ∪ — set union (operands must have identical column types).
+pub fn union(a: &Relation, b: &Relation) -> Result<Relation, AlgebraError> {
+    compatible(a, b)?;
+    let mut out = a.clone();
+    for t in b.iter() {
+        out.insert(t.clone())?;
+    }
+    Ok(out)
+}
+
+/// \ — set difference `a \ b`.
+pub fn difference(a: &Relation, b: &Relation) -> Result<Relation, AlgebraError> {
+    compatible(a, b)?;
+    let mut out = Relation::new(a.schema().clone());
+    for t in a.iter() {
+        if !b.contains(t) {
+            out.insert(t.clone())?;
+        }
+    }
+    Ok(out)
+}
+
+/// ρ — renames the relation (and optionally its columns).
+pub fn rename(
+    rel: &Relation,
+    name: impl Into<String>,
+    columns: Option<Vec<String>>,
+) -> Result<Relation, AlgebraError> {
+    let mut schema = rel.schema().clone();
+    schema.name = name.into();
+    if let Some(names) = columns {
+        if names.len() != schema.arity() {
+            return Err(AlgebraError::SchemaMismatch);
+        }
+        for (c, n) in schema.columns.iter_mut().zip(names) {
+            c.name = n;
+        }
+    }
+    let mut out = Relation::new(schema);
+    for t in rel.iter() {
+        out.insert(t.clone())?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::RelationSchema;
+    use crate::tup;
+    use crate::value::ValueType;
+
+    fn emp() -> Relation {
+        let mut r = Relation::new(RelationSchema::new(
+            "emp",
+            vec![Column::new("name", ValueType::Str), Column::new("age", ValueType::Int)],
+        ));
+        r.insert(tup!["alice", 30]).unwrap();
+        r.insert(tup!["bob", 17]).unwrap();
+        r.insert(tup!["carol", 45]).unwrap();
+        r
+    }
+
+    fn dept() -> Relation {
+        let mut r = Relation::new(RelationSchema::new(
+            "dept",
+            vec![Column::new("emp", ValueType::Str), Column::new("dept", ValueType::Str)],
+        ));
+        r.insert(tup!["alice", "db"]).unwrap();
+        r.insert(tup!["carol", "os"]).unwrap();
+        r.insert(tup!["dave", "db"]).unwrap();
+        r
+    }
+
+    #[test]
+    fn select_filters_by_comparison() {
+        let adults = select(&emp(), 1, CmpOp::Ge, &Value::Int(18)).unwrap();
+        assert_eq!(adults.len(), 2);
+        assert!(adults.contains(&tup!["alice", 30]));
+    }
+
+    #[test]
+    fn select_where_arbitrary_predicate() {
+        let r = select_where(&emp(), "longnames", |t| {
+            matches!(&t[0], Value::Str(s) if s.len() > 3)
+        });
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.name(), "longnames");
+    }
+
+    #[test]
+    fn select_rejects_bad_column() {
+        assert_eq!(
+            select(&emp(), 9, CmpOp::Eq, &Value::Int(0)).unwrap_err(),
+            AlgebraError::ColumnOutOfRange { column: 9, arity: 2 }
+        );
+    }
+
+    #[test]
+    fn project_dedups() {
+        let names = project(&dept(), "depts", &[1]).unwrap();
+        assert_eq!(names.len(), 2); // db, os
+        assert_eq!(names.schema().columns[0].name, "dept");
+    }
+
+    #[test]
+    fn project_can_reorder_and_duplicate() {
+        let r = project(&emp(), "x", &[1, 0, 1]).unwrap();
+        assert!(r.contains(&tup![30, "alice", 30]));
+        assert_eq!(r.arity(), 3);
+    }
+
+    #[test]
+    fn join_matches_on_key() {
+        let j = join(&emp(), &dept(), "emp_dept", &[(0, 0)]).unwrap();
+        assert_eq!(j.len(), 2);
+        assert!(j.contains(&tup!["alice", 30, "db"]));
+        assert!(j.contains(&tup!["carol", 45, "os"]));
+        assert_eq!(j.arity(), 3);
+        assert_eq!(j.schema().columns[2].name, "dept_dept");
+    }
+
+    #[test]
+    fn join_on_multiple_columns() {
+        let mut a = Relation::new(RelationSchema::with_types(
+            "a",
+            &[ValueType::Int, ValueType::Int],
+        ));
+        a.insert(tup![1, 2]).unwrap();
+        a.insert(tup![1, 3]).unwrap();
+        let mut b = Relation::new(RelationSchema::with_types(
+            "b",
+            &[ValueType::Int, ValueType::Int],
+        ));
+        b.insert(tup![1, 2]).unwrap();
+        let j = join(&a, &b, "j", &[(0, 0), (1, 1)]).unwrap();
+        assert_eq!(j.len(), 1);
+        assert!(j.contains(&tup![1, 2]));
+    }
+
+    #[test]
+    fn union_and_difference() {
+        let a = emp();
+        let adults = select(&a, 1, CmpOp::Ge, &Value::Int(18)).unwrap();
+        let minors = difference(&a, &adults).unwrap();
+        assert_eq!(minors.len(), 1);
+        assert!(minors.contains(&tup!["bob", 17]));
+        let back = union(&adults, &minors).unwrap();
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn union_rejects_mismatched_schemas() {
+        assert_eq!(union(&emp(), &dept()).unwrap_err(), AlgebraError::SchemaMismatch);
+    }
+
+    #[test]
+    fn rename_relabels() {
+        let r = rename(&emp(), "people", Some(vec!["n".into(), "a".into()])).unwrap();
+        assert_eq!(r.name(), "people");
+        assert_eq!(r.schema().columns[0].name, "n");
+        assert_eq!(r.len(), 3);
+        assert!(rename(&emp(), "x", Some(vec!["only_one".into()])).is_err());
+    }
+
+    #[test]
+    fn nulls_join_only_with_themselves() {
+        use crate::value::NullFactory;
+        let mut f = NullFactory::new(1);
+        let n1 = Value::Null(f.fresh());
+        let n2 = Value::Null(f.fresh());
+        let mut a = Relation::new(RelationSchema::with_types("a", &[ValueType::Int]));
+        let mut b = Relation::new(RelationSchema::with_types("b", &[ValueType::Int]));
+        a.insert(Tuple::new(vec![n1.clone()])).unwrap();
+        b.insert(Tuple::new(vec![n1.clone()])).unwrap();
+        b.insert(Tuple::new(vec![n2])).unwrap();
+        let j = join(&a, &b, "j", &[(0, 0)]).unwrap();
+        assert_eq!(j.len(), 1);
+        assert!(j.contains(&Tuple::new(vec![n1])));
+    }
+}

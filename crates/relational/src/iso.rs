@@ -1,0 +1,272 @@
+//! Equivalence of instances *modulo marked-null renaming*.
+//!
+//! Two coDB runs invent different null labels for the same existential
+//! facts (labels embed node ids and sequence numbers), so instance
+//! comparison in data-exchange semantics is **null isomorphism**: a
+//! bijection between null sets under which the instances coincide.
+//! [`homomorphic`] checks the one-directional variant (nulls may also map
+//! to constants), which characterises "at least as informative as".
+//!
+//! The search is backtracking over tuples, grouped per relation, with
+//! ground tuples matched first; fine for test- and report-sized instances
+//! (it is the standard chase-equivalence check, NP-hard in general).
+
+use crate::instance::Instance;
+use crate::tuple::Tuple;
+use crate::value::{NullId, Value};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A (partial) mapping of null labels.
+type NullMap = BTreeMap<NullId, Value>;
+
+/// Tries to extend `map` so that `a` maps onto `b` field-by-field.
+/// On success returns the labels newly bound (for backtracking).
+fn match_tuple(
+    a: &Tuple,
+    b: &Tuple,
+    map: &mut NullMap,
+    bijective: bool,
+    used_targets: &mut BTreeSet<Value>,
+) -> Option<Vec<NullId>> {
+    if a.arity() != b.arity() {
+        return None;
+    }
+    let mut bound = Vec::new();
+    for (va, vb) in a.values().zip(b.values()) {
+        let ok = match va {
+            Value::Null(label) => match map.get(label) {
+                Some(mapped) => mapped == vb,
+                None => {
+                    let blocked = bijective
+                        && (!matches!(vb, Value::Null(_)) || used_targets.contains(vb));
+                    if blocked {
+                        false
+                    } else {
+                        map.insert(*label, vb.clone());
+                        if bijective {
+                            used_targets.insert(vb.clone());
+                        }
+                        bound.push(*label);
+                        true
+                    }
+                }
+            },
+            ground => ground == vb,
+        };
+        if !ok {
+            for label in &bound {
+                if bijective {
+                    if let Some(v) = map.get(label) {
+                        used_targets.remove(v);
+                    }
+                }
+                map.remove(label);
+            }
+            return None;
+        }
+    }
+    Some(bound)
+}
+
+/// Backtracking search: match every tuple of `from[rel]` onto a tuple of
+/// `to[rel]` — onto a *distinct* one in bijective mode (isomorphism),
+/// allowing collapses otherwise (homomorphism).
+fn embed_relation(
+    from: &[&Tuple],
+    to: &[&Tuple],
+    used: &mut Vec<bool>,
+    map: &mut NullMap,
+    bijective: bool,
+    used_targets: &mut BTreeSet<Value>,
+) -> bool {
+    let Some((first, rest)) = from.split_first() else { return true };
+    for (i, candidate) in to.iter().enumerate() {
+        if bijective && used[i] {
+            continue;
+        }
+        if let Some(bound) = match_tuple(first, candidate, map, bijective, used_targets) {
+            used[i] = true;
+            if embed_relation(rest, to, used, map, bijective, used_targets) {
+                return true;
+            }
+            used[i] = false;
+            for label in bound {
+                if bijective {
+                    if let Some(v) = map.get(&label) {
+                        used_targets.remove(v);
+                    }
+                }
+                map.remove(&label);
+            }
+        }
+    }
+    false
+}
+
+fn embed(a: &Instance, b: &Instance, bijective: bool) -> bool {
+    let mut map = NullMap::new();
+    let mut used_targets = BTreeSet::new();
+    for rel_a in a.relations() {
+        let Some(rel_b) = b.get(rel_a.name()) else {
+            if rel_a.is_empty() {
+                continue;
+            }
+            return false;
+        };
+        if bijective && rel_a.len() != rel_b.len() {
+            return false;
+        }
+        // Deterministic order; ground tuples first so they prune early.
+        let mut from: Vec<&Tuple> = rel_a.iter().collect();
+        from.sort_by_key(|t| (t.has_null(), (*t).clone()));
+        let to: Vec<&Tuple> = rel_b.sorted_refs();
+        let mut used = vec![false; to.len()];
+        if !embed_relation(&from, &to, &mut used, &mut map, bijective, &mut used_targets) {
+            return false;
+        }
+    }
+    true
+}
+
+/// True iff there is an **injective tuple embedding** of `a` into `b` under
+/// a null mapping (nulls of `a` may map to nulls *or constants* of `b`):
+/// `b` contains at least the information of `a`.
+pub fn homomorphic(a: &Instance, b: &Instance) -> bool {
+    embed(a, b, false)
+}
+
+/// True iff the instances are identical up to a **bijective renaming of
+/// null labels** — the right notion of "same result" for comparing coDB
+/// runs whose invented labels differ.
+pub fn isomorphic(a: &Instance, b: &Instance) -> bool {
+    // Cardinalities must agree per relation, and the bijection must hold in
+    // one direction with null→null injective mapping; together with equal
+    // cardinalities this is an isomorphism.
+    embed(a, b, true)
+}
+
+impl crate::relation::Relation {
+    /// Tuples in sorted order, by reference (helper for the iso search).
+    pub(crate) fn sorted_refs(&self) -> Vec<&Tuple> {
+        let mut v: Vec<&Tuple> = self.iter().collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::RelationSchema;
+    use crate::tup;
+    use crate::value::{NullFactory, ValueType};
+
+    fn inst_with(tuples: Vec<Tuple>) -> Instance {
+        let mut i = Instance::new();
+        i.add_relation(RelationSchema::with_types("r", &[ValueType::Int, ValueType::Int]));
+        for t in tuples {
+            i.get_mut("r").unwrap().insert(t).unwrap();
+        }
+        i
+    }
+
+    fn null(origin: u64, seq: u64) -> Value {
+        Value::Null(crate::value::NullId::new(origin, seq))
+    }
+
+    #[test]
+    fn ground_instances_compare_exactly() {
+        let a = inst_with(vec![tup![1, 2], tup![3, 4]]);
+        let b = inst_with(vec![tup![3, 4], tup![1, 2]]);
+        assert!(isomorphic(&a, &b));
+        assert!(homomorphic(&a, &b));
+        let c = inst_with(vec![tup![1, 2]]);
+        assert!(!isomorphic(&a, &c));
+        assert!(homomorphic(&c, &a));
+        assert!(!homomorphic(&a, &c));
+    }
+
+    #[test]
+    fn iso_modulo_null_renaming() {
+        let a = inst_with(vec![
+            Tuple::new(vec![Value::Int(1), null(1, 0)]),
+            Tuple::new(vec![Value::Int(2), null(1, 1)]),
+        ]);
+        let b = inst_with(vec![
+            Tuple::new(vec![Value::Int(1), null(9, 7)]),
+            Tuple::new(vec![Value::Int(2), null(9, 8)]),
+        ]);
+        assert!(isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn iso_respects_null_sharing() {
+        // a: both rows share one null; b: two distinct nulls — NOT iso.
+        let a = inst_with(vec![
+            Tuple::new(vec![Value::Int(1), null(1, 0)]),
+            Tuple::new(vec![Value::Int(2), null(1, 0)]),
+        ]);
+        let b = inst_with(vec![
+            Tuple::new(vec![Value::Int(1), null(2, 0)]),
+            Tuple::new(vec![Value::Int(2), null(2, 1)]),
+        ]);
+        assert!(!isomorphic(&a, &b));
+        assert!(!isomorphic(&b, &a));
+        // But b is homomorphic into a (both nulls map to the shared one)…
+        assert!(homomorphic(&b, &a));
+    }
+
+    #[test]
+    fn homomorphism_allows_null_to_constant() {
+        let a = inst_with(vec![Tuple::new(vec![Value::Int(1), null(1, 0)])]);
+        let b = inst_with(vec![tup![1, 42]]);
+        assert!(homomorphic(&a, &b), "null maps to 42");
+        assert!(!isomorphic(&a, &b), "bijective renaming cannot ground a null");
+        assert!(!homomorphic(&b, &a), "42 cannot map to a null");
+    }
+
+    #[test]
+    fn injectivity_blocks_null_merging_in_iso() {
+        // a has two distinct nulls on separate rows; b shares one null.
+        let a = inst_with(vec![
+            Tuple::new(vec![Value::Int(1), null(1, 0)]),
+            Tuple::new(vec![Value::Int(1), null(1, 1)]),
+        ]);
+        let b = inst_with(vec![Tuple::new(vec![Value::Int(1), null(2, 0)])]);
+        assert!(!isomorphic(&a, &b)); // cardinality differs
+        assert!(homomorphic(&a, &b)); // both nulls may merge under hom
+    }
+
+    #[test]
+    fn missing_relation_matters_only_when_nonempty() {
+        let a = inst_with(vec![tup![1, 1]]);
+        let empty = Instance::new();
+        assert!(!homomorphic(&a, &empty));
+        let a_empty = inst_with(vec![]);
+        assert!(homomorphic(&a_empty, &empty));
+    }
+
+    #[test]
+    fn backtracking_finds_non_greedy_matching() {
+        // Greedy first-fit would map a's (n0, n1) to b's (m0, m0) and fail;
+        // the correct matching needs backtracking.
+        let mut f = NullFactory::new(5);
+        let n0 = Value::Null(f.fresh());
+        let n1 = Value::Null(f.fresh());
+        let mut g = NullFactory::new(6);
+        let m0 = Value::Null(g.fresh());
+        let m1 = Value::Null(g.fresh());
+        let a = inst_with(vec![
+            Tuple::new(vec![Value::Int(1), n0.clone()]),
+            Tuple::new(vec![Value::Int(1), n1.clone()]),
+            Tuple::new(vec![Value::Int(2), n1.clone()]),
+        ]);
+        let b = inst_with(vec![
+            Tuple::new(vec![Value::Int(1), m0.clone()]),
+            Tuple::new(vec![Value::Int(1), m1.clone()]),
+            Tuple::new(vec![Value::Int(2), m0.clone()]),
+        ]);
+        // n1 must map to m0 (the null occurring with both 1 and 2).
+        assert!(isomorphic(&a, &b));
+    }
+}

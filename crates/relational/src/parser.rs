@@ -1,0 +1,598 @@
+//! Text syntax for queries, coordination rules and facts.
+//!
+//! The coDB super-peer "can read coordination rules for all peers from a
+//! file and broadcast this file to all peers"; this module defines that file
+//! syntax (the node-level `source -> target` wiring is added by
+//! `codb-core`'s network configuration parser on top of the rule syntax
+//! here).
+//!
+//! Grammar (comments `% ...` to end of line; statements end with `.`):
+//!
+//! ```text
+//! fact   := ident "(" const ("," const)* ")"
+//! query  := atom ":-" body
+//! rule   := "rule" ident ":" atom ("," atom)* "<-" body
+//! body   := (atom | cmp) ("," (atom | cmp))*
+//! atom   := ident "(" term ("," term)* ")"
+//! cmp    := term op term          op ∈ { =, !=, <, <=, >, >= }
+//! term   := VARIABLE | const     (variables start uppercase or '_')
+//! const  := integer | string | "true" | "false"
+//! ```
+//!
+//! A bare `_` is an anonymous variable: each occurrence is distinct.
+
+use crate::cq::{Atom, CmpOp, Comparison, ConjunctiveQuery, CqBody, CqError, Term, VarPool};
+use crate::glav::GlavRule;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::fmt;
+
+/// Parse error with 1-based line/column position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<CqError> for ParseError {
+    fn from(e: CqError) -> Self {
+        ParseError { message: e.to_string(), line: 0, col: 0 }
+    }
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Ident(String),
+    Variable(String),
+    Int(i64),
+    Str(String),
+    Bool(bool),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Colon,
+    Turnstile, // :-
+    LeftArrow, // <-
+    Op(CmpOp),
+    KwRule,
+}
+
+#[derive(Clone, Debug)]
+struct Spanned {
+    tok: Tok,
+    line: usize,
+    col: usize,
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    chars: std::iter::Peekable<std::str::CharIndices<'a>>,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src, chars: src.char_indices().peekable(), line: 1, col: 1 }
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError { message: message.into(), line: self.line, col: self.col }
+    }
+
+    fn bump(&mut self) -> Option<(usize, char)> {
+        let next = self.chars.next();
+        if let Some((_, c)) = next {
+            if c == '\n' {
+                self.line += 1;
+                self.col = 1;
+            } else {
+                self.col += 1;
+            }
+        }
+        next
+    }
+
+    fn tokenize(mut self) -> Result<Vec<Spanned>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            // Skip whitespace and comments.
+            loop {
+                match self.chars.peek() {
+                    Some((_, c)) if c.is_whitespace() => {
+                        self.bump();
+                    }
+                    Some((_, '%')) => {
+                        while let Some((_, c)) = self.bump() {
+                            if c == '\n' {
+                                break;
+                            }
+                        }
+                    }
+                    _ => break,
+                }
+            }
+            let (line, col) = (self.line, self.col);
+            let Some(&(start, c)) = self.chars.peek() else { break };
+            let tok = match c {
+                '(' => {
+                    self.bump();
+                    Tok::LParen
+                }
+                ')' => {
+                    self.bump();
+                    Tok::RParen
+                }
+                ',' => {
+                    self.bump();
+                    Tok::Comma
+                }
+                '.' => {
+                    self.bump();
+                    Tok::Dot
+                }
+                ':' => {
+                    self.bump();
+                    if matches!(self.chars.peek(), Some((_, '-'))) {
+                        self.bump();
+                        Tok::Turnstile
+                    } else {
+                        Tok::Colon
+                    }
+                }
+                '<' => {
+                    self.bump();
+                    match self.chars.peek() {
+                        Some((_, '-')) => {
+                            self.bump();
+                            Tok::LeftArrow
+                        }
+                        Some((_, '=')) => {
+                            self.bump();
+                            Tok::Op(CmpOp::Le)
+                        }
+                        _ => Tok::Op(CmpOp::Lt),
+                    }
+                }
+                '>' => {
+                    self.bump();
+                    if matches!(self.chars.peek(), Some((_, '='))) {
+                        self.bump();
+                        Tok::Op(CmpOp::Ge)
+                    } else {
+                        Tok::Op(CmpOp::Gt)
+                    }
+                }
+                '=' => {
+                    self.bump();
+                    Tok::Op(CmpOp::Eq)
+                }
+                '!' => {
+                    self.bump();
+                    if matches!(self.chars.peek(), Some((_, '='))) {
+                        self.bump();
+                        Tok::Op(CmpOp::Ne)
+                    } else {
+                        return Err(self.err("expected '=' after '!'"));
+                    }
+                }
+                '"' => {
+                    self.bump();
+                    let mut s = String::new();
+                    loop {
+                        match self.bump() {
+                            Some((_, '"')) => break,
+                            Some((_, '\\')) => match self.bump() {
+                                Some((_, 'n')) => s.push('\n'),
+                                Some((_, 't')) => s.push('\t'),
+                                Some((_, other)) => s.push(other),
+                                None => return Err(self.err("unterminated string")),
+                            },
+                            Some((_, ch)) => s.push(ch),
+                            None => return Err(self.err("unterminated string")),
+                        }
+                    }
+                    Tok::Str(s)
+                }
+                c if c.is_ascii_digit() || c == '-' => {
+                    self.bump();
+                    let mut end = start + c.len_utf8();
+                    while let Some(&(i, d)) = self.chars.peek() {
+                        if d.is_ascii_digit() {
+                            self.bump();
+                            end = i + d.len_utf8();
+                        } else {
+                            break;
+                        }
+                    }
+                    let text = &self.src[start..end];
+                    let n: i64 = text
+                        .parse()
+                        .map_err(|_| self.err(format!("bad integer literal {text:?}")))?;
+                    Tok::Int(n)
+                }
+                c if c.is_alphanumeric() || c == '_' => {
+                    self.bump();
+                    let mut end = start + c.len_utf8();
+                    while let Some(&(i, d)) = self.chars.peek() {
+                        if d.is_alphanumeric() || d == '_' {
+                            self.bump();
+                            end = i + d.len_utf8();
+                        } else {
+                            break;
+                        }
+                    }
+                    let text = &self.src[start..end];
+                    match text {
+                        "true" => Tok::Bool(true),
+                        "false" => Tok::Bool(false),
+                        "rule" => Tok::KwRule,
+                        _ if text.starts_with(|ch: char| ch.is_uppercase())
+                            || text.starts_with('_') =>
+                        {
+                            Tok::Variable(text.to_owned())
+                        }
+                        _ => Tok::Ident(text.to_owned()),
+                    }
+                }
+                other => return Err(self.err(format!("unexpected character {other:?}"))),
+            };
+            out.push(Spanned { tok, line, col });
+        }
+        Ok(out)
+    }
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+    vars: VarPool,
+    anon: u32,
+}
+
+impl Parser {
+    fn new(src: &str) -> Result<Self, ParseError> {
+        Ok(Parser { toks: Lexer::new(src).tokenize()?, pos: 0, vars: VarPool::new(), anon: 0 })
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|s| &s.tok)
+    }
+
+    fn here(&self) -> (usize, usize) {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map_or((0, 0), |s| (s.line, s.col))
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        let (line, col) = self.here();
+        ParseError { message: message.into(), line, col }
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|s| s.tok.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: &Tok, what: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(t) if t == want => {
+                self.pos += 1;
+                Ok(())
+            }
+            _ => Err(self.err(format!("expected {what}"))),
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.peek().cloned() {
+            Some(Tok::Ident(s)) => {
+                self.pos += 1;
+                Ok(s)
+            }
+            _ => Err(self.err(format!("expected {what}"))),
+        }
+    }
+
+    fn term(&mut self) -> Result<Term, ParseError> {
+        match self.next() {
+            Some(Tok::Variable(name)) => {
+                if name == "_" {
+                    // Each bare underscore is a distinct anonymous variable.
+                    self.anon += 1;
+                    Ok(Term::Var(self.vars.var(&format!("_anon{}", self.anon))))
+                } else {
+                    Ok(Term::Var(self.vars.var(&name)))
+                }
+            }
+            Some(Tok::Int(n)) => Ok(Term::Const(Value::Int(n))),
+            Some(Tok::Str(s)) => Ok(Term::Const(Value::Str(s))),
+            Some(Tok::Bool(b)) => Ok(Term::Const(Value::Bool(b))),
+            _ => Err(self.err("expected a term (variable or constant)")),
+        }
+    }
+
+    fn atom_args(&mut self) -> Result<Vec<Term>, ParseError> {
+        self.expect(&Tok::LParen, "'('")?;
+        let mut terms = Vec::new();
+        if self.peek() == Some(&Tok::RParen) {
+            self.pos += 1;
+            return Ok(terms);
+        }
+        loop {
+            terms.push(self.term()?);
+            match self.next() {
+                Some(Tok::Comma) => continue,
+                Some(Tok::RParen) => break,
+                _ => return Err(self.err("expected ',' or ')' in atom arguments")),
+            }
+        }
+        Ok(terms)
+    }
+
+    fn atom(&mut self) -> Result<Atom, ParseError> {
+        let name = self.ident("relation name")?;
+        let terms = self.atom_args()?;
+        Ok(Atom::new(name, terms))
+    }
+
+    /// Parses `atom | comparison` — disambiguated by the token after the
+    /// first term: an identifier followed by `(` is an atom.
+    fn body_item(&mut self) -> Result<BodyItem, ParseError> {
+        if let Some(Tok::Ident(_)) = self.peek() {
+            if self.toks.get(self.pos + 1).map(|s| &s.tok) == Some(&Tok::LParen) {
+                return Ok(BodyItem::Atom(self.atom()?));
+            }
+        }
+        let lhs = self.term()?;
+        let op = match self.next() {
+            Some(Tok::Op(op)) => op,
+            _ => return Err(self.err("expected comparison operator")),
+        };
+        let rhs = self.term()?;
+        Ok(BodyItem::Cmp(Comparison { lhs, op, rhs }))
+    }
+
+    fn body(&mut self) -> Result<CqBody, ParseError> {
+        let mut atoms = Vec::new();
+        let mut comparisons = Vec::new();
+        loop {
+            match self.body_item()? {
+                BodyItem::Atom(a) => atoms.push(a),
+                BodyItem::Cmp(c) => comparisons.push(c),
+            }
+            if self.peek() == Some(&Tok::Comma) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        Ok(CqBody::new(atoms, comparisons))
+    }
+
+    fn eat_optional_dot(&mut self) {
+        if self.peek() == Some(&Tok::Dot) {
+            self.pos += 1;
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos == self.toks.len()
+    }
+}
+
+enum BodyItem {
+    Atom(Atom),
+    Cmp(Comparison),
+}
+
+/// Parses a user query: `head(X, ...) :- body.` (trailing dot optional).
+pub fn parse_query(src: &str) -> Result<ConjunctiveQuery, ParseError> {
+    let mut p = Parser::new(src)?;
+    let head = p.atom()?;
+    p.expect(&Tok::Turnstile, "':-'")?;
+    let body = p.body()?;
+    p.eat_optional_dot();
+    if !p.at_end() {
+        return Err(p.err("trailing input after query"));
+    }
+    let names = p.vars.into_names();
+    ConjunctiveQuery::new(head, body, names).map_err(Into::into)
+}
+
+/// Parses a coordination rule:
+/// `rule name: head_atoms <- body.` (the `rule name:` prefix is optional —
+/// an anonymous rule gets the name `"rule"`).
+pub fn parse_rule(src: &str) -> Result<GlavRule, ParseError> {
+    let mut p = Parser::new(src)?;
+    let name = if p.peek() == Some(&Tok::KwRule) {
+        p.pos += 1;
+        let n = p.ident("rule name")?;
+        p.expect(&Tok::Colon, "':'")?;
+        n
+    } else {
+        "rule".to_owned()
+    };
+    let mut head = vec![p.atom()?];
+    while p.peek() == Some(&Tok::Comma) {
+        p.pos += 1;
+        head.push(p.atom()?);
+    }
+    p.expect(&Tok::LeftArrow, "'<-'")?;
+    let body = p.body()?;
+    p.eat_optional_dot();
+    if !p.at_end() {
+        return Err(p.err("trailing input after rule"));
+    }
+    let names = p.vars.into_names();
+    GlavRule::new(name, head, body, names).map_err(Into::into)
+}
+
+/// Parses a sequence of ground facts: `rel(c1, ...). rel2(...).`
+/// Returns `(relation, tuple)` pairs in source order.
+pub fn parse_facts(src: &str) -> Result<Vec<(String, Tuple)>, ParseError> {
+    let mut p = Parser::new(src)?;
+    let mut out = Vec::new();
+    while !p.at_end() {
+        let name = p.ident("relation name")?;
+        let terms = p.atom_args()?;
+        let mut values = Vec::with_capacity(terms.len());
+        for t in terms {
+            match t {
+                Term::Const(v) => values.push(v),
+                Term::Var(_) => return Err(p.err("facts must be ground (no variables)")),
+            }
+        }
+        p.expect(&Tok::Dot, "'.' after fact")?;
+        out.push((name, Tuple::new(values)));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cq::Var;
+    use crate::tup;
+
+    #[test]
+    fn parse_simple_query() {
+        let q = parse_query("ans(X, Y) :- edge(X, Y).").unwrap();
+        assert_eq!(q.head.relation, "ans");
+        assert_eq!(q.body.atoms.len(), 1);
+        assert_eq!(q.var_name(Var(0)), "X");
+    }
+
+    #[test]
+    fn parse_query_with_comparisons_and_constants() {
+        let q = parse_query(r#"adult(N) :- person(N, A), A >= 18, N != "root""#).unwrap();
+        assert_eq!(q.body.comparisons.len(), 2);
+        assert_eq!(q.body.atoms[0].terms.len(), 2);
+    }
+
+    #[test]
+    fn parse_query_unsafe_head_rejected() {
+        let err = parse_query("ans(X, Z) :- edge(X, Y).").unwrap_err();
+        assert!(err.message.contains("head variable"));
+    }
+
+    #[test]
+    fn parse_rule_named() {
+        let r = parse_rule("rule r1: person(N, A) <- emp(N, A), A >= 18.").unwrap();
+        assert_eq!(r.name, "r1");
+        assert_eq!(r.to_string(), "rule r1: person(N, A) <- emp(N, A), A >= 18");
+    }
+
+    #[test]
+    fn parse_rule_anonymous_and_existential() {
+        let r = parse_rule("person(N, D), dept(D) <- emp(N, A)").unwrap();
+        assert_eq!(r.name, "rule");
+        assert_eq!(r.head.len(), 2);
+        assert!(r.has_existentials());
+    }
+
+    #[test]
+    fn parse_rule_display_round_trip() {
+        let src = "rule r2: person(N, D), dept(D) <- emp(N, A)";
+        let r = parse_rule(src).unwrap();
+        let r2 = parse_rule(&r.to_string()).unwrap();
+        assert_eq!(r, r2);
+    }
+
+    #[test]
+    fn anonymous_variables_are_distinct() {
+        let q = parse_query("ans(X) :- r(X, _, _).").unwrap();
+        // X, _anon1, _anon2
+        assert_eq!(q.var_names.len(), 3);
+        let a = q.body.atoms[0].terms[1].as_var().unwrap();
+        let b = q.body.atoms[0].terms[2].as_var().unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn parse_facts_basic() {
+        let fs = parse_facts(
+            r#"
+            % the demo data
+            emp("alice", 30).
+            emp("bob", -5).
+            flag(true).
+            "#,
+        )
+        .unwrap();
+        assert_eq!(fs.len(), 3);
+        assert_eq!(fs[0], ("emp".into(), tup!["alice", 30]));
+        assert_eq!(fs[1], ("emp".into(), tup!["bob", -5]));
+        assert_eq!(fs[2], ("flag".into(), tup![true]));
+    }
+
+    #[test]
+    fn parse_facts_reject_variables() {
+        assert!(parse_facts("emp(X).").unwrap_err().message.contains("ground"));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let fs = parse_facts(r#"r("a\"b\nc")."#).unwrap();
+        assert_eq!(fs[0].1[0], Value::str("a\"b\nc"));
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let err = parse_query("ans(X) :- \n  edge(X Y).").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.col > 1);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(parse_facts(r#"r("oops"#).is_err());
+    }
+
+    #[test]
+    fn bad_operator_errors() {
+        assert!(parse_query("a(X) :- r(X), X ! 3").is_err());
+    }
+
+    #[test]
+    fn empty_args_atom() {
+        let q = parse_query("ans() :- marker().").unwrap();
+        assert_eq!(q.head.arity(), 0);
+        assert_eq!(q.body.atoms[0].arity(), 0);
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse_query("a(X) :- r(X). extra").is_err());
+        assert!(parse_rule("a(X) <- r(X). rule").is_err());
+    }
+
+    #[test]
+    fn negative_integers() {
+        let fs = parse_facts("t(-42).").unwrap();
+        assert_eq!(fs[0].1[0], Value::Int(-42));
+    }
+
+    #[test]
+    fn comparison_between_variables() {
+        let q = parse_query("ans(X, Y) :- e(X, Y), X < Y.").unwrap();
+        assert_eq!(q.body.comparisons[0].op, CmpOp::Lt);
+    }
+}

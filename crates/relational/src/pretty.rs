@@ -1,0 +1,93 @@
+//! Human-readable rendering of relations and answer sets — the library
+//! replacement for the demo's "browse streaming results" UI.
+
+use crate::relation::Relation;
+use crate::tuple::Tuple;
+use std::fmt::Write as _;
+
+/// Renders tuples as an aligned ASCII table with the given column headers.
+pub fn render_table(headers: &[&str], tuples: &[Tuple]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    let rendered: Vec<Vec<String>> = tuples
+        .iter()
+        .map(|t| {
+            (0..cols)
+                .map(|i| t.get(i).map_or(String::new(), |v| v.to_string()))
+                .collect()
+        })
+        .collect();
+    for row in &rendered {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let rule = |out: &mut String| {
+        out.push('+');
+        for w in &widths {
+            out.push_str(&"-".repeat(w + 2));
+            out.push('+');
+        }
+        out.push('\n');
+    };
+    rule(&mut out);
+    out.push('|');
+    for (h, w) in headers.iter().zip(&widths) {
+        let _ = write!(out, " {h:<w$} |");
+    }
+    out.push('\n');
+    rule(&mut out);
+    for row in &rendered {
+        out.push('|');
+        for (cell, w) in row.iter().zip(&widths) {
+            let _ = write!(out, " {cell:<w$} |");
+        }
+        out.push('\n');
+    }
+    rule(&mut out);
+    out
+}
+
+/// Renders a whole relation (sorted for determinism) with its schema's
+/// column names as headers.
+pub fn render_relation(rel: &Relation) -> String {
+    let headers: Vec<&str> = rel.schema().columns.iter().map(|c| c.name.as_str()).collect();
+    let mut out = format!("{} ({} tuples)\n", rel.name(), rel.len());
+    out.push_str(&render_table(&headers, &rel.sorted()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::RelationSchema;
+    use crate::tup;
+    use crate::value::ValueType;
+
+    #[test]
+    fn table_is_aligned() {
+        let s = render_table(&["name", "age"], &[tup!["alice", 30], tup!["bob", 7]]);
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[1].contains("name"));
+        assert!(lines[3].contains("\"alice\""));
+        // All rows equally wide.
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+    }
+
+    #[test]
+    fn relation_render_includes_name_and_count() {
+        let mut r =
+            Relation::new(RelationSchema::with_types("emp", &[ValueType::Str, ValueType::Int]));
+        r.insert(tup!["zed", 1]).unwrap();
+        let s = render_relation(&r);
+        assert!(s.starts_with("emp (1 tuples)"));
+        assert!(s.contains("c0"));
+    }
+
+    #[test]
+    fn empty_table() {
+        let s = render_table(&["x"], &[]);
+        assert_eq!(s.lines().count(), 4); // rule, header, rule, rule
+    }
+}

@@ -1,0 +1,150 @@
+//! Durable snapshots of database instances.
+//!
+//! The paper's nodes sit on an RDBMS; ours are in-memory, so persistence
+//! is provided as explicit, versioned snapshots. A snapshot captures one
+//! [`Instance`] plus the node's [`NullFactory`] state — restoring without
+//! the factory would risk re-issuing null labels that already occur in the
+//! data, silently merging distinct unknowns.
+
+use crate::instance::Instance;
+use crate::value::NullFactory;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Snapshot format version; bump on layout changes.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// A persisted database state.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Format version (checked on load).
+    pub version: u32,
+    /// The instance.
+    pub instance: Instance,
+    /// The null factory, so restored nodes keep inventing fresh labels.
+    pub nulls: NullFactory,
+}
+
+/// Snapshot errors.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The payload is not valid snapshot JSON.
+    Corrupt(String),
+    /// The snapshot was written by an incompatible version.
+    VersionMismatch {
+        /// Version found in the payload.
+        found: u32,
+        /// Version this library writes.
+        expected: u32,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Corrupt(e) => write!(f, "corrupt snapshot: {e}"),
+            SnapshotError::VersionMismatch { found, expected } => {
+                write!(f, "snapshot version {found}, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl Snapshot {
+    /// Captures the given state.
+    pub fn capture(instance: &Instance, nulls: &NullFactory) -> Self {
+        Snapshot {
+            version: SNAPSHOT_VERSION,
+            instance: instance.clone(),
+            nulls: nulls.clone(),
+        }
+    }
+
+    /// Serialises to JSON bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("snapshot types are serialisable")
+    }
+
+    /// Restores from JSON bytes, checking the format version.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let snap: Snapshot = serde_json::from_slice(bytes)
+            .map_err(|e| SnapshotError::Corrupt(e.to_string()))?;
+        if snap.version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::VersionMismatch {
+                found: snap.version,
+                expected: SNAPSHOT_VERSION,
+            });
+        }
+        Ok(snap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::RelationSchema;
+    use crate::tup;
+    use crate::value::{Value, ValueType};
+    use crate::Tuple;
+
+    fn sample() -> (Instance, NullFactory) {
+        let mut inst = Instance::new();
+        inst.add_relation(RelationSchema::with_types("r", &[ValueType::Int, ValueType::Str]));
+        inst.insert("r", tup![1, "a"]).unwrap();
+        let mut nulls = NullFactory::new(7);
+        let n = nulls.fresh();
+        inst.get_mut("r")
+            .unwrap()
+            .insert(Tuple::new(vec![Value::Int(2), Value::Null(n)]))
+            .unwrap();
+        (inst, nulls)
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let (inst, nulls) = sample();
+        let snap = Snapshot::capture(&inst, &nulls);
+        let restored = Snapshot::from_bytes(&snap.to_bytes()).unwrap();
+        assert_eq!(restored.instance, inst);
+        assert_eq!(restored.nulls.invented(), nulls.invented());
+    }
+
+    #[test]
+    fn restored_factory_keeps_labels_fresh() {
+        let (inst, nulls) = sample();
+        let bytes = Snapshot::capture(&inst, &nulls).to_bytes();
+        let mut restored = Snapshot::from_bytes(&bytes).unwrap();
+        let next = restored.nulls.fresh();
+        // Must not collide with the label already in the data.
+        let existing: Vec<_> = restored
+            .instance
+            .get("r")
+            .unwrap()
+            .iter()
+            .flat_map(|t| t.nulls().collect::<Vec<_>>())
+            .collect();
+        assert!(!existing.contains(&next));
+    }
+
+    #[test]
+    fn corrupt_payload_is_rejected() {
+        assert!(matches!(
+            Snapshot::from_bytes(b"not json"),
+            Err(SnapshotError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let (inst, nulls) = sample();
+        let mut snap = Snapshot::capture(&inst, &nulls);
+        snap.version = 99;
+        let bytes = serde_json::to_vec(&snap).unwrap();
+        assert!(matches!(
+            Snapshot::from_bytes(&bytes),
+            Err(SnapshotError::VersionMismatch { found: 99, .. })
+        ));
+    }
+}

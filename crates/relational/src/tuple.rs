@@ -1,0 +1,149 @@
+//! Tuples: fixed-arity sequences of [`Value`]s.
+
+use crate::value::{NullId, Value};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Index;
+
+/// A database tuple. Immutable once constructed; cheap to hash and compare,
+/// which matters because coDB's duplicate suppression (`T' = T \ R`) hashes
+/// every incoming tuple against the local relation.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Tuple(Box<[Value]>);
+
+impl Tuple {
+    /// Builds a tuple from values.
+    pub fn new(values: impl Into<Vec<Value>>) -> Self {
+        Tuple(values.into().into_boxed_slice())
+    }
+
+    /// Number of fields.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Field accessor; `None` when out of bounds.
+    pub fn get(&self, i: usize) -> Option<&Value> {
+        self.0.get(i)
+    }
+
+    /// Iterates over the fields.
+    pub fn values(&self) -> impl Iterator<Item = &Value> {
+        self.0.iter()
+    }
+
+    /// True iff any field is a marked null. Used to compute *certain*
+    /// answers: a query answer containing an invented null is not certain.
+    pub fn has_null(&self) -> bool {
+        self.0.iter().any(Value::is_null)
+    }
+
+    /// All null labels occurring in the tuple, in field order.
+    pub fn nulls(&self) -> impl Iterator<Item = NullId> + '_ {
+        self.0.iter().filter_map(|v| match v {
+            Value::Null(n) => Some(*n),
+            _ => None,
+        })
+    }
+
+    /// Approximate wire size in bytes (see [`Value::size_bytes`]).
+    pub fn size_bytes(&self) -> usize {
+        2 + self.0.iter().map(Value::size_bytes).sum::<usize>()
+    }
+
+    /// Borrow the underlying slice.
+    pub fn as_slice(&self) -> &[Value] {
+        &self.0
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(v: Vec<Value>) -> Self {
+        Tuple::new(v)
+    }
+}
+
+impl Index<usize> for Tuple {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        &self.0[i]
+    }
+}
+
+impl fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Builds a [`Tuple`] from a list of expressions convertible to [`Value`].
+///
+/// ```
+/// use codb_relational::tup;
+/// let t = tup![1, "alice", true];
+/// assert_eq!(t.arity(), 3);
+/// ```
+#[macro_export]
+macro_rules! tup {
+    ($($v:expr),* $(,)?) => {
+        $crate::Tuple::new(vec![$($crate::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::NullFactory;
+
+    #[test]
+    fn construction_and_access() {
+        let t = tup![1, "a", false];
+        assert_eq!(t.arity(), 3);
+        assert_eq!(t[0], Value::Int(1));
+        assert_eq!(t.get(2), Some(&Value::Bool(false)));
+        assert_eq!(t.get(3), None);
+    }
+
+    #[test]
+    fn null_detection() {
+        let mut f = NullFactory::new(1);
+        let n = f.fresh();
+        let t = Tuple::new(vec![Value::Int(1), Value::Null(n)]);
+        assert!(t.has_null());
+        assert_eq!(t.nulls().collect::<Vec<_>>(), vec![n]);
+        assert!(!tup![1, 2].has_null());
+    }
+
+    #[test]
+    fn equality_and_hash_are_structural() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(tup![1, "x"]);
+        assert!(s.contains(&tup![1, "x"]));
+        assert!(!s.contains(&tup![1, "y"]));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(tup![1, "a"].to_string(), "(1, \"a\")");
+        assert_eq!(Tuple::new(vec![]).to_string(), "()");
+    }
+
+    #[test]
+    fn size_accounts_all_fields() {
+        assert_eq!(tup![1, true].size_bytes(), 2 + 8 + 1);
+    }
+}

@@ -1,0 +1,17 @@
+//! # codb-workload
+//!
+//! Workload generation for the coDB experiments: topology families
+//! ([`topology::Topology`]), seeded data generators ([`data_gen`]) and
+//! complete scenario builders ([`scenario::Scenario`]) that assemble a
+//! validated `NetworkConfig` ready to run on the simulator — the library
+//! equivalent of the demo's hand-arranged networks.
+
+#![warn(missing_docs)]
+
+pub mod data_gen;
+pub mod scenario;
+pub mod topology;
+
+pub use data_gen::{generate, generate_distinct, DataDist};
+pub use scenario::{RuleStyle, Scenario};
+pub use topology::Topology;

@@ -1,0 +1,80 @@
+//! Dynamic networks: the super-peer re-broadcasts a coordination-rules
+//! file at runtime, rewiring the topology ("a super-peer can dynamically
+//! change the network topology at runtime"), and then collects the final
+//! statistical report from all peers.
+//!
+//! Run with: `cargo run --example dynamic_superpeer`
+
+use codb::prelude::*;
+
+fn config_v(version: u64, edges: &[(usize, usize)], n: usize) -> NetworkConfig {
+    let mut s = format!("version {version}\n");
+    for i in 0..n {
+        s.push_str(&format!("node n{i}\nschema n{i}: r(int)\n"));
+    }
+    s.push_str("data n0: ");
+    for t in 0..20 {
+        s.push_str(&format!("r({t}). "));
+    }
+    s.push('\n');
+    for (k, (a, b)) in edges.iter().enumerate() {
+        s.push_str(&format!("rule v{version}e{k} @ n{a} -> n{b}: r(X) <- r(X).\n"));
+    }
+    NetworkConfig::parse(&s).expect("valid config")
+}
+
+fn main() {
+    let n = 5;
+    // Phase 1: a chain 0 → 1 → 2 → 3 → 4.
+    let chain: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+    let mut net =
+        CoDbNetwork::build_with_superpeer(config_v(1, &chain, n), SimConfig::default())
+            .expect("builds");
+
+    let n0 = net.node_id("n0").unwrap();
+    let n4 = net.node_id("n4").unwrap();
+    let first = net.run_update(n0);
+    println!(
+        "chain update: {} in {} — n4 now holds {} tuples (longest path {})",
+        first.update,
+        first.duration,
+        net.node(n4).ldb().get("r").unwrap().len(),
+        first.summary.longest_path
+    );
+
+    // Phase 2: the super-peer rewires the network into a star: every node
+    // feeds n4 directly. Old pipes are dropped, new ones created.
+    let star: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, n - 1)).collect();
+    let took = net.broadcast_rules(config_v(2, &star, n)).expect("valid config");
+    println!("\nsuper-peer re-broadcast rules (star topology) in {took}");
+    println!(
+        "pipe n0-n1 still open? {}   pipe n0-n4 open? {}",
+        net.sim().has_pipe(n0.peer(), net.node_id("n1").unwrap().peer()),
+        net.sim().has_pipe(n0.peer(), n4.peer()),
+    );
+
+    let second = net.run_update(n4);
+    println!(
+        "star update: {} in {} — longest path {} (was {} on the chain)",
+        second.update, second.duration, second.summary.longest_path,
+        first.summary.longest_path
+    );
+
+    // Final statistical report, collected over the network.
+    let report = net.collect_stats();
+    println!("\n== super-peer final report ==");
+    for update in report.update_ids() {
+        let s = report.summarise(update).unwrap();
+        println!(
+            "{update}: nodes={} data-msgs={} bytes={} longest-path={} total-time={}",
+            s.nodes, s.data_messages, s.data_bytes, s.longest_path, s.total_time
+        );
+    }
+    for (id, node) in &report.nodes {
+        println!(
+            "  {id}: ldb={} tuples, sent={:?}",
+            node.ldb_tuples,
+            node.messages_sent.get("update_data").copied().unwrap_or(0)
+        );
+    }
+}

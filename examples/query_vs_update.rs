@@ -1,0 +1,64 @@
+//! The paper's central trade-off, measured: query-time answering fetches
+//! data over the network on *every* query, while a global update pays the
+//! materialisation cost once and answers all subsequent queries locally.
+//!
+//! This example sweeps chain length and prints the crossover: after how
+//! many queries does the batch update amortise?
+//!
+//! Run with: `cargo run --example query_vs_update`
+
+use codb::prelude::*;
+
+fn main() {
+    println!(
+        "{:>8} | {:>14} {:>9} | {:>14} {:>9} | {:>10}",
+        "chain n", "query-time", "msgs", "update", "msgs", "amortise@"
+    );
+    println!("{}", "-".repeat(78));
+
+    for n in [2usize, 4, 8, 12, 16] {
+        let scenario = Scenario {
+            topology: Topology::Chain(n),
+            tuples_per_node: 200,
+            rule_style: RuleStyle::CopyGav,
+            dist: DataDist::Uniform { domain: 1_000_000 },
+            seed: 7,
+        };
+
+        // Network A: answer at the chain end by query-time fetching.
+        let mut fetch_net =
+            CoDbNetwork::build(scenario.build_config(), SimConfig::default()).unwrap();
+        let q = fetch_net.run_query(scenario.sink(), scenario.sink_query(), true);
+
+        // Network B: global update first, then a purely local query.
+        let mut mat_net =
+            CoDbNetwork::build(scenario.build_config(), SimConfig::default()).unwrap();
+        let outcome = mat_net.run_update(scenario.sink());
+        let local = mat_net.run_query(scenario.sink(), scenario.sink_query(), false);
+
+        assert_eq!(
+            q.result.answers.len(),
+            local.result.answers.len(),
+            "query-time and materialised answers must agree on a chain"
+        );
+
+        // After how many queries is the one-off update cheaper than
+        // repeated query-time fetching (by simulated wall time)?
+        let amortise = outcome.duration.as_nanos().div_ceil(q.duration.as_nanos().max(1));
+
+        println!(
+            "{:>8} | {:>14} {:>9} | {:>14} {:>9} | {:>10}",
+            n,
+            q.duration.to_string(),
+            q.messages,
+            outcome.duration.to_string(),
+            outcome.messages,
+            amortise,
+        );
+    }
+
+    println!(
+        "\n(local queries after the update use 0 messages and ~0 simulated time —\n\
+         the coDB argument for batch global updates.)"
+    );
+}

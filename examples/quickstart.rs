@@ -1,0 +1,73 @@
+//! Quickstart: a two-node coDB network — an HR database and a public
+//! portal with different schemas, bridged by one GLAV coordination rule.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use codb::prelude::*;
+use codb::relational::pretty::render_relation;
+
+fn main() {
+    // A coordination-rules file, exactly what the paper's super-peer
+    // would broadcast: two nodes, their shared schemas, seed data, and
+    // one rule mapping HR's `emp` into the portal's `person`, keeping
+    // adults only.
+    let config = NetworkConfig::parse(
+        r#"
+        % --- the network ---
+        node hr
+        node portal
+
+        % --- shared database schemas (DBS) ---
+        schema hr: emp(str, int)
+        schema portal: person(str, int)
+
+        % --- local data ---
+        data hr: emp("alice", 30). emp("bob", 17). emp("carol", 45).
+
+        % --- GLAV coordination rules ---
+        rule adults @ hr -> portal: person(N, A) <- emp(N, A), A >= 18.
+        "#,
+    )
+    .expect("valid configuration");
+
+    let mut net = CoDbNetwork::build(config, SimConfig::default()).expect("network builds");
+    let portal = net.node_id("portal").unwrap();
+
+    println!("== before any update: the portal is empty ==");
+    println!("{}", render_relation(net.node(portal).ldb().get("person").unwrap()));
+
+    // 1. Query-time answering: the portal fetches from HR on demand,
+    //    materialising nothing.
+    let q = net
+        .run_query_text(portal, "ans(N, A) :- person(N, A).", true)
+        .unwrap();
+    println!(
+        "query-time answering: {} answers in {} using {} messages",
+        q.result.answers.len(),
+        q.duration,
+        q.messages
+    );
+    for t in &q.result.answers {
+        println!("  {t}");
+    }
+    assert!(net.node(portal).ldb().get("person").unwrap().is_empty());
+
+    // 2. Global update: batch materialisation à la coDB.
+    let outcome = net.run_update(portal);
+    println!(
+        "\nglobal update {}: {} tuples materialised in {} ({} messages, {} bytes)",
+        outcome.update, outcome.summary.tuples_added, outcome.duration, outcome.messages,
+        outcome.bytes
+    );
+    println!("\n== after the update: the portal holds the adults locally ==");
+    println!("{}", render_relation(net.node(portal).ldb().get("person").unwrap()));
+
+    // 3. Local queries are now free of network traffic.
+    let local = net
+        .run_query_text(portal, "ans(N) :- person(N, A), A >= 40.", false)
+        .unwrap();
+    println!(
+        "local query after materialisation: {:?} ({} messages)",
+        local.result.answers, local.messages
+    );
+}

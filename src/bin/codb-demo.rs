@@ -1,0 +1,125 @@
+//! Command-line demo driver — the library stand-in for the paper's demo
+//! UI: load a coordination-rules file, run updates and queries at chosen
+//! nodes, inspect databases and the super-peer's statistical report.
+//!
+//! ```text
+//! codb-demo CONFIG_FILE COMMAND...
+//!
+//! Commands (executed in order):
+//!   update NODE                   start a global update at NODE
+//!   scoped-update NODE REL[,REL]  query-dependent update for relations
+//!   query NODE 'ans(X) :- r(X).'  query-time (network) answering
+//!   local-query NODE 'QUERY'      answer from the local database only
+//!   show NODE                     print NODE's local database
+//!   stats                         super-peer statistics report (JSON)
+//! ```
+//!
+//! Example:
+//! `cargo run --bin codb-demo -- examples/university.codb update portal show portal`
+
+use codb::prelude::*;
+use codb::relational::pretty::render_relation;
+use std::process::ExitCode;
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("codb-demo: {msg}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((config_path, rest)) = args.split_first() else {
+        return fail("usage: codb-demo CONFIG_FILE COMMAND...");
+    };
+    let text = match std::fs::read_to_string(config_path) {
+        Ok(t) => t,
+        Err(e) => return fail(&format!("cannot read {config_path}: {e}")),
+    };
+    let config = match NetworkConfig::parse(&text) {
+        Ok(c) => c,
+        Err(e) => return fail(&e.to_string()),
+    };
+    let mut net = match CoDbNetwork::build_with_superpeer(config, SimConfig::default()) {
+        Ok(n) => n,
+        Err(e) => return fail(&e.to_string()),
+    };
+
+    let node_arg = |net: &CoDbNetwork, name: &str| -> Option<codb::core::NodeId> {
+        let id = net.node_id(name);
+        if id.is_none() {
+            eprintln!("codb-demo: unknown node {name:?}");
+        }
+        id
+    };
+
+    let mut it = rest.iter();
+    while let Some(cmd) = it.next() {
+        match cmd.as_str() {
+            "update" => {
+                let Some(name) = it.next() else { return fail("update needs NODE") };
+                let Some(id) = node_arg(&net, name) else { return ExitCode::FAILURE };
+                let o = net.run_update(id);
+                println!(
+                    "update {} at {name}: {} tuples in {} ({} msgs, {} bytes, longest path {})",
+                    o.update,
+                    o.summary.tuples_added,
+                    o.duration,
+                    o.messages,
+                    o.bytes,
+                    o.summary.longest_path
+                );
+            }
+            "scoped-update" => {
+                let (Some(name), Some(rels)) = (it.next(), it.next()) else {
+                    return fail("scoped-update needs NODE REL[,REL]");
+                };
+                let Some(id) = node_arg(&net, name) else { return ExitCode::FAILURE };
+                let relations: Vec<String> =
+                    rels.split(',').map(str::trim).map(str::to_owned).collect();
+                let o = net.run_scoped_update(id, relations);
+                println!(
+                    "scoped update {} at {name}: {} tuples in {} ({} msgs)",
+                    o.update, o.summary.tuples_added, o.duration, o.messages
+                );
+            }
+            "query" | "local-query" => {
+                let fetch = cmd == "query";
+                let (Some(name), Some(q)) = (it.next(), it.next()) else {
+                    return fail("query needs NODE 'QUERY'");
+                };
+                let Some(id) = node_arg(&net, name) else { return ExitCode::FAILURE };
+                match net.run_query_text(id, q, fetch) {
+                    Ok(out) => {
+                        println!(
+                            "{} answers in {} ({} msgs):",
+                            out.result.answers.len(),
+                            out.duration,
+                            out.messages
+                        );
+                        for t in &out.result.answers {
+                            println!("  {t}");
+                        }
+                    }
+                    Err(e) => return fail(&format!("bad query: {e}")),
+                }
+            }
+            "show" => {
+                let Some(name) = it.next() else { return fail("show needs NODE") };
+                let Some(id) = node_arg(&net, name) else { return ExitCode::FAILURE };
+                println!("== {name} ==");
+                for rel in net.node(id).ldb().relations() {
+                    print!("{}", render_relation(rel));
+                }
+            }
+            "stats" => {
+                let report = net.collect_stats();
+                match serde_json::to_string_pretty(&report) {
+                    Ok(js) => println!("{js}"),
+                    Err(e) => return fail(&format!("stats serialisation: {e}")),
+                }
+            }
+            other => return fail(&format!("unknown command {other:?}")),
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,143 @@
+//! Integration tests for the `codb-demo` command-line driver.
+
+use std::io::Write as _;
+use std::process::Command;
+
+fn write_config() -> tempfileish::TempPath {
+    let mut f = tempfileish::NamedTemp::new("codb-demo-test");
+    writeln!(
+        f.file,
+        r#"
+        node hr
+        node portal
+        schema hr: emp(str, int)
+        schema portal: person(str, int)
+        data hr: emp("alice", 30). emp("bob", 17).
+        rule adults @ hr -> portal: person(N, A) <- emp(N, A), A >= 18.
+        "#
+    )
+    .unwrap();
+    f.into_path()
+}
+
+/// Minimal self-cleaning temp files (std-only; no external crates).
+mod tempfileish {
+    use std::fs::File;
+    use std::path::PathBuf;
+
+    pub struct NamedTemp {
+        pub file: File,
+        path: PathBuf,
+    }
+
+    pub struct TempPath(PathBuf);
+
+    impl NamedTemp {
+        pub fn new(prefix: &str) -> Self {
+            let path = std::env::temp_dir().join(format!(
+                "{prefix}-{}-{}",
+                std::process::id(),
+                std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .unwrap()
+                    .as_nanos()
+            ));
+            NamedTemp { file: File::create(&path).unwrap(), path }
+        }
+
+        pub fn into_path(self) -> TempPath {
+            TempPath(self.path)
+        }
+    }
+
+    impl TempPath {
+        pub fn as_str(&self) -> &str {
+            self.0.to_str().unwrap()
+        }
+    }
+
+    impl Drop for TempPath {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+}
+
+fn demo() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_codb-demo"))
+}
+
+#[test]
+fn update_then_show_prints_materialised_data() {
+    let config = write_config();
+    let out = demo()
+        .args([config.as_str(), "update", "portal", "show", "portal"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("1 tuples"), "one adult materialised:\n{stdout}");
+    assert!(stdout.contains("\"alice\""));
+    assert!(!stdout.contains("\"bob\""));
+}
+
+#[test]
+fn query_answers_over_the_network() {
+    let config = write_config();
+    let out = demo()
+        .args([config.as_str(), "query", "portal", "ans(N) :- person(N, A)."])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("1 answers"), "{stdout}");
+    assert!(stdout.contains("\"alice\""));
+}
+
+#[test]
+fn scoped_update_command_works() {
+    let config = write_config();
+    let out = demo()
+        .args([config.as_str(), "scoped-update", "portal", "person", "show", "portal"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("scoped update"));
+    assert!(stdout.contains("\"alice\""));
+}
+
+#[test]
+fn stats_emits_json() {
+    let config = write_config();
+    let out = demo()
+        .args([config.as_str(), "update", "portal", "stats"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let json_start = stdout.find('{').expect("json present");
+    let v: serde_json::Value = serde_json::from_str(stdout[json_start..].trim()).unwrap();
+    assert!(v.get("nodes").is_some());
+}
+
+#[test]
+fn bad_inputs_fail_cleanly() {
+    // Missing file.
+    let out = demo().args(["/nonexistent.codb", "stats"]).output().unwrap();
+    assert!(!out.status.success());
+    // Unknown command.
+    let config = write_config();
+    let out = demo().args([config.as_str(), "frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+    // Unknown node.
+    let out = demo().args([config.as_str(), "update", "nope"]).output().unwrap();
+    assert!(!out.status.success());
+    // Bad query.
+    let out = demo()
+        .args([config.as_str(), "query", "portal", "ans(X) :- nope((("])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}

@@ -1,0 +1,297 @@
+//! Cross-crate system tests: scenario-driven runs, the threaded runtime,
+//! statistics plumbing and dynamic reconfiguration under load.
+
+use codb::core::{Body, CoDbNode, Envelope, NodeSettings};
+use codb::net::ParallelNet;
+use codb::prelude::*;
+use std::time::Duration;
+
+#[test]
+fn all_topologies_run_to_the_expected_tuple_counts() {
+    // CopyGav over disjoint domains: the sink accumulates every tuple on a
+    // path to it; with a huge domain, cross-node collisions are absent for
+    // the seeds used here.
+    for topology in [
+        Topology::Chain(6),
+        Topology::Ring(5),
+        Topology::Star { leaves: 5 },
+        Topology::Tree { height: 2 },
+        Topology::Grid { w: 3, h: 2 },
+        Topology::RandomDag { n: 6, p_percent: 40, seed: 9 },
+        Topology::Clique(3),
+    ] {
+        let scenario = Scenario {
+            topology,
+            tuples_per_node: 7,
+            rule_style: RuleStyle::CopyGav,
+            dist: DataDist::Uniform { domain: 1 << 40 },
+            seed: 11,
+        };
+        let mut net = CoDbNetwork::build(scenario.build_config(), SimConfig::default())
+            .unwrap_or_else(|e| panic!("{topology}: {e}"));
+        let outcome = net.run_update(scenario.sink());
+        assert_eq!(
+            outcome.summary.nodes,
+            topology.node_count() as u64,
+            "{topology}: all nodes participate"
+        );
+        // On a ring/clique every node ends with everything.
+        if topology.is_cyclic() {
+            let total = topology.node_count() * 7;
+            for i in 0..topology.node_count() {
+                let rel = Scenario::relation_of(i);
+                assert_eq!(
+                    net.node(codb::core::NodeId(i as u64)).ldb().get(&rel).unwrap().len(),
+                    total,
+                    "{topology}: node {i} reaches the fixpoint"
+                );
+            }
+        }
+        // The longest propagation path is at least the depth to the sink
+        // (except on random DAGs, where shortcut edges can deliver data
+        // first, so the longest *new-data* path is shorter than the
+        // backbone).
+        if !matches!(topology, Topology::RandomDag { .. }) {
+            assert!(
+                outcome.summary.longest_path >= topology.depth_to_sink() as u64,
+                "{topology}: longest path {} < depth {}",
+                outcome.summary.longest_path,
+                topology.depth_to_sink()
+            );
+        }
+    }
+}
+
+#[test]
+fn threaded_runtime_reaches_the_same_fixpoint() {
+    // The same CoDbNode state machines, on real OS threads with crossbeam
+    // channels instead of the simulator.
+    let scenario = Scenario {
+        topology: Topology::Ring(4),
+        tuples_per_node: 10,
+        rule_style: RuleStyle::CopyGav,
+        dist: DataDist::Uniform { domain: 1 << 40 },
+        seed: 21,
+    };
+    let config = scenario.build_config();
+
+    // Expected fixpoint from the simulator.
+    let mut sim_net = CoDbNetwork::build(config.clone(), SimConfig::default()).unwrap();
+    sim_net.run_update(scenario.sink());
+
+    // Threaded run.
+    let mut par: ParallelNet<Envelope, CoDbNode> = ParallelNet::new();
+    for nc in &config.nodes {
+        let node = CoDbNode::new(
+            nc.id,
+            &nc.name,
+            nc.schema.clone(),
+            nc.data.clone(),
+            &config.rules,
+            NodeSettings::default(),
+        );
+        par.add_peer(nc.id.peer(), node);
+    }
+    for rule in &config.rules {
+        par.open_pipe(rule.source.peer(), rule.target.peer());
+    }
+    par.inject(
+        codb::core::HARNESS_PEER,
+        scenario.sink().peer(),
+        Envelope::control(Body::StartUpdate),
+    );
+    assert!(
+        par.await_quiescence(Duration::from_millis(300), Duration::from_secs(30)),
+        "threaded update must quiesce"
+    );
+    let peers = par.shutdown();
+    for nc in &config.nodes {
+        let threaded = &peers[&nc.id.peer()];
+        let expected = sim_net.node(nc.id).ldb();
+        assert_eq!(
+            threaded.ldb(),
+            expected,
+            "node {} differs between threaded and simulated runs",
+            nc.name
+        );
+    }
+}
+
+#[test]
+fn statistics_account_every_data_byte() {
+    let scenario = Scenario {
+        topology: Topology::Chain(4),
+        tuples_per_node: 20,
+        rule_style: RuleStyle::CopyGav,
+        dist: DataDist::Uniform { domain: 1 << 40 },
+        seed: 5,
+    };
+    let mut net = CoDbNetwork::build(scenario.build_config(), SimConfig::default()).unwrap();
+    let outcome = net.run_update(scenario.sink());
+    let report = net.network_report();
+
+    // Receiver-side and sender-side traffic agree per rule.
+    let mut sent_by_rule = std::collections::BTreeMap::new();
+    let mut recv_by_rule = std::collections::BTreeMap::new();
+    for node in report.nodes.values() {
+        let r = &node.updates[&outcome.update];
+        for (rule, t) in &r.sent {
+            let e = sent_by_rule.entry(rule.clone()).or_insert((0u64, 0u64));
+            e.0 += t.messages;
+            e.1 += t.bytes;
+        }
+        for (rule, t) in &r.received {
+            let e = recv_by_rule.entry(rule.clone()).or_insert((0u64, 0u64));
+            e.0 += t.messages;
+            e.1 += t.bytes;
+        }
+    }
+    assert_eq!(sent_by_rule, recv_by_rule, "no data lost on reliable pipes");
+
+    // Simulator ground truth: update_data messages counted by the node
+    // statistics equal the per-kind counters.
+    let data_msgs: u64 = report
+        .nodes
+        .values()
+        .map(|n| n.messages_sent.get("update_data").copied().unwrap_or(0))
+        .sum();
+    assert_eq!(data_msgs, outcome.summary.data_messages);
+}
+
+#[test]
+fn glav_chain_propagates_nulls_transitively() {
+    // ProjectGlav drops the second column and invents a null at every hop;
+    // nulls must flow through intermediate nodes without collapsing.
+    let scenario = Scenario {
+        topology: Topology::Chain(3),
+        tuples_per_node: 5,
+        rule_style: RuleStyle::ProjectGlav,
+        dist: DataDist::Uniform { domain: 1 << 40 },
+        seed: 31,
+    };
+    let mut net = CoDbNetwork::build(scenario.build_config(), SimConfig::default()).unwrap();
+    net.run_update(scenario.sink());
+    let sink_rel = Scenario::relation_of(2);
+    let rel = net.node(scenario.sink()).ldb().get(&sink_rel).unwrap();
+    // 5 own tuples + 5 from node1 + 5 relayed from node0.
+    assert_eq!(rel.len(), 15);
+    let with_null = rel.iter().filter(|t| t.has_null()).count();
+    assert_eq!(with_null, 10, "imported tuples carry invented nulls");
+}
+
+#[test]
+fn rebroadcast_mid_flight_update_still_terminates() {
+    // Dynamic network: rules are replaced while an update is in flight.
+    // The paper: "even if nodes and coordination rules appear or disappear
+    // during the computation, the proposed algorithm will eventually
+    // terminate".
+    let scenario = Scenario {
+        topology: Topology::Chain(5),
+        tuples_per_node: 30,
+        rule_style: RuleStyle::CopyGav,
+        dist: DataDist::Uniform { domain: 1 << 40 },
+        seed: 17,
+    };
+    let mut config = scenario.build_config();
+    config.version = 1;
+    let mut net =
+        CoDbNetwork::build_with_superpeer(config.clone(), SimConfig::default()).unwrap();
+
+    // Kick off the update but do NOT run to quiescence.
+    net.sim_mut().inject(
+        codb::core::HARNESS_PEER,
+        scenario.sink().peer(),
+        Envelope::control(Body::StartUpdate),
+    );
+    for _ in 0..40 {
+        net.sim_mut().step();
+    }
+
+    // Re-broadcast a different topology mid-flight: a star where every
+    // other node feeds node 4 (schemas are per-node, so the star edges
+    // (i -> 4) must be rebuilt as rules r4 <- r_i).
+    let mut v2 = config.clone();
+    v2.rules = (0..4u64)
+        .map(|i| {
+            let rule = codb::relational::parse_rule(&format!(
+                "rule star{i}: r4(X, Y) <- r{i}(X, Y)."
+            ))
+            .unwrap();
+            codb::core::CoordinationRule {
+                rule,
+                source: codb::core::NodeId(i),
+                target: codb::core::NodeId(4),
+            }
+        })
+        .collect();
+    v2.version = 2;
+    net.broadcast_rules(v2).unwrap();
+
+    // The network must quiesce (broadcast_rules ran it to quiescence) and
+    // a fresh update on the new topology must work.
+    assert!(net.sim().is_quiescent());
+    let outcome = net.run_update(codb::core::NodeId(4));
+    assert_eq!(outcome.summary.nodes, 5);
+    // The new star topology materialised everything at node 4.
+    let r4 = net.node(codb::core::NodeId(4)).ldb().get("r4").unwrap().len();
+    assert!(r4 >= 5 * 30, "star sink should hold all data, has {r4}");
+}
+
+#[test]
+fn node_crash_mid_update_still_quiesces_for_others() {
+    // Remove a leaf node mid-update: in-flight messages to it are dropped
+    // by the simulator; the rest of the network still reaches quiescence
+    // (outstanding retransmissions to the dead node are forgotten when the
+    // simulator reports undeliverable sends — here pipes close on removal,
+    // so sends become undeliverable and DS never completes for the
+    // initiator; the run still quiesces because timers only rearm while
+    // messages are outstanding... this test pins the *current* documented
+    // behaviour: quiescence with possibly-incomplete completion flood).
+    let scenario = Scenario {
+        topology: Topology::Star { leaves: 3 },
+        tuples_per_node: 10,
+        rule_style: RuleStyle::CopyGav,
+        dist: DataDist::Uniform { domain: 1 << 40 },
+        seed: 23,
+    };
+    let mut net = CoDbNetwork::build(scenario.build_config(), SimConfig::default()).unwrap();
+    net.sim_mut().inject(
+        codb::core::HARNESS_PEER,
+        scenario.sink().peer(),
+        Envelope::control(Body::StartUpdate),
+    );
+    net.sim_mut().step();
+    net.sim_mut().step();
+    // Crash leaf 3.
+    net.sim_mut().remove_peer(codb::core::NodeId(3).peer());
+    // Bounded run: must not loop forever.
+    let mut guard = 0;
+    while net.sim_mut().step() {
+        guard += 1;
+        assert!(guard < 1_000_000, "simulation must quiesce after a crash");
+    }
+    // The surviving leaves' data made it to the hub.
+    let hub = net.node(codb::core::NodeId(0));
+    let imported = hub.ldb().get("r0").unwrap().len();
+    assert!(imported >= 10 + 20, "hub got data from surviving leaves, has {imported}");
+}
+
+#[test]
+fn query_reports_track_requests_and_answers() {
+    let scenario = Scenario {
+        topology: Topology::Star { leaves: 4 },
+        tuples_per_node: 6,
+        rule_style: RuleStyle::CopyGav,
+        dist: DataDist::Uniform { domain: 1 << 40 },
+        seed: 2,
+    };
+    let mut net = CoDbNetwork::build(scenario.build_config(), SimConfig::default()).unwrap();
+    let q = net.run_query(scenario.sink(), scenario.sink_query(), true);
+    let report = net.node(scenario.sink()).report();
+    let qr = &report.queries[&q.query];
+    assert_eq!(qr.requests_sent, 4);
+    assert_eq!(qr.answers_received, 4);
+    assert_eq!(qr.answers, 30);
+    assert!(qr.bytes_received > 0);
+    assert!(qr.duration().is_some());
+}
