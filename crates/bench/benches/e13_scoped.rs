@@ -31,15 +31,13 @@ fn bench(c: &mut Criterion) {
         let s = scenario(Topology::Star { leaves }, 200, RuleStyle::CopyGav);
         g.bench_with_input(BenchmarkId::new("global", leaves), &s, |b, s| {
             b.iter(|| {
-                let mut net =
-                    CoDbNetwork::build(s.build_config(), SimConfig::default()).unwrap();
+                let mut net = CoDbNetwork::build(s.build_config(), SimConfig::default()).unwrap();
                 net.run_update(s.sink())
             })
         });
         g.bench_with_input(BenchmarkId::new("scoped_all", leaves), &s, |b, s| {
             b.iter(|| {
-                let mut net =
-                    CoDbNetwork::build(s.build_config(), SimConfig::default()).unwrap();
+                let mut net = CoDbNetwork::build(s.build_config(), SimConfig::default()).unwrap();
                 net.run_scoped_update(s.sink(), vec![Scenario::relation_of(0)])
             })
         });

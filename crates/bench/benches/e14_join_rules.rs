@@ -26,14 +26,11 @@ use codb_bench::experiments::run_update;
 /// E14: join-body rules vs copy rules.
 fn bench(c: &mut Criterion) {
     let mut g = quick(c);
-    for (name, style) in [
-        ("copy", RuleStyle::CopyGav),
-        ("join16", RuleStyle::JoinGav { join_domain: 16 }),
-    ] {
+    for (name, style) in
+        [("copy", RuleStyle::CopyGav), ("join16", RuleStyle::JoinGav { join_domain: 16 })]
+    {
         let s = scenario(Topology::Chain(6), 200, style);
-        g.bench_with_input(BenchmarkId::from_parameter(name), &s, |b, s| {
-            b.iter(|| run_update(s))
-        });
+        g.bench_with_input(BenchmarkId::from_parameter(name), &s, |b, s| b.iter(|| run_update(s)));
     }
     g.finish();
 }

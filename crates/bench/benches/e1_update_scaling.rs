@@ -28,9 +28,7 @@ fn bench(c: &mut Criterion) {
     let mut g = quick(c);
     for n in [2usize, 4, 8, 16] {
         let s = scenario(Topology::Chain(n), 100, RuleStyle::CopyGav);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &s, |b, s| {
-            b.iter(|| run_update(s))
-        });
+        g.bench_with_input(BenchmarkId::from_parameter(n), &s, |b, s| b.iter(|| run_update(s)));
     }
     g.finish();
 }

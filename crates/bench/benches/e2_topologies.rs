@@ -35,9 +35,7 @@ fn bench(c: &mut Criterion) {
         Topology::RandomDag { n: 9, p_percent: 25, seed: 5 },
     ] {
         let s = scenario(topo, 100, RuleStyle::CopyGav);
-        g.bench_with_input(BenchmarkId::from_parameter(topo), &s, |b, s| {
-            b.iter(|| run_update(s))
-        });
+        g.bench_with_input(BenchmarkId::from_parameter(topo), &s, |b, s| b.iter(|| run_update(s)));
     }
     g.finish();
 }

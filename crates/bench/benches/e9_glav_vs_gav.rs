@@ -32,9 +32,7 @@ fn bench(c: &mut Criterion) {
         ("project_glav", RuleStyle::ProjectGlav),
     ] {
         let s = scenario(Topology::Chain(8), 500, style);
-        g.bench_with_input(BenchmarkId::from_parameter(name), &s, |b, s| {
-            b.iter(|| run_update(s))
-        });
+        g.bench_with_input(BenchmarkId::from_parameter(name), &s, |b, s| b.iter(|| run_update(s)));
     }
     g.finish();
 }

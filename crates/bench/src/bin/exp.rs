@@ -1,8 +1,13 @@
 //! Experiment runner: prints the tables of DESIGN.md §4.
 //!
-//! Usage: `cargo run -p codb-bench --release --bin exp -- [e1 … e12 | all]`
+//! Usage: `cargo run -p codb-bench --release --bin exp -- [e1 … e16 | all]`
+//!
+//! Extra modes:
+//! * `exp --quick` — a seconds-scale smoke run of the full harness
+//!   (update + query on small topologies), for CI.
+//! * `exp timeline [chain|ring|grid]` — render an update Gantt chart.
 
-use codb_bench::{all, by_id};
+use codb_bench::{all, by_id, Table};
 
 /// `exp timeline [chain|ring|grid]` — render an update Gantt chart.
 fn timeline(kind: &str) {
@@ -20,8 +25,48 @@ fn timeline(kind: &str) {
     println!("{}", codb_bench::render_timeline(&net.network_report(), o.update, 60));
 }
 
+/// `exp --quick` — one cheap end-to-end pass per topology family, so CI
+/// exercises the bench harness (scenario build, update, query, reporting)
+/// without paying for the full experiment suite.
+fn quick() {
+    use codb_bench::experiments::run_update;
+    use codb_workload::{Scenario, Topology};
+
+    let mut t = Table::new(
+        "quick smoke — update + query per topology (10 tuples/node)",
+        &["topology", "nodes", "data msgs", "tuples added", "query answers"],
+    );
+    let topologies = [
+        Topology::Chain(4),
+        Topology::Ring(4),
+        Topology::Star { leaves: 3 },
+        Topology::Grid { w: 2, h: 2 },
+    ];
+    for topology in topologies {
+        let s = Scenario { tuples_per_node: 10, ..Scenario::quick(topology) };
+        let (o, _host, mut net) = run_update(&s);
+        let q = net.run_query(s.sink(), s.sink_query(), false);
+        t.row(vec![
+            format!("{topology}"),
+            o.summary.nodes.to_string(),
+            o.summary.data_messages.to_string(),
+            o.summary.tuples_added.to_string(),
+            q.result.answers.len().to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--quick") {
+        if args.len() > 1 {
+            eprintln!("--quick takes no other arguments (got {:?})", args);
+            std::process::exit(1);
+        }
+        quick();
+        return;
+    }
     if args.first().map(String::as_str) == Some("timeline") {
         timeline(args.get(1).map(String::as_str).unwrap_or("chain"));
         return;
@@ -32,7 +77,7 @@ fn main() {
         args.iter()
             .map(|id| {
                 by_id(id).unwrap_or_else(|| {
-                    eprintln!("unknown experiment {id:?} (use e1..e12 or all)");
+                    eprintln!("unknown experiment {id:?} (use e1..e16, all, --quick or timeline)");
                     std::process::exit(1);
                 })
             })

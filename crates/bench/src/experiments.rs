@@ -157,21 +157,15 @@ pub fn e5() -> Table {
     );
     for n in [2usize, 4, 8, 16] {
         let s = scenario(Topology::Chain(n), 200);
-        let mut fetch_net =
-            CoDbNetwork::build(s.build_config(), SimConfig::default()).unwrap();
+        let mut fetch_net = CoDbNetwork::build(s.build_config(), SimConfig::default()).unwrap();
         let q = fetch_net.run_query(s.sink(), s.sink_query(), true);
 
-        let mut mat_net =
-            CoDbNetwork::build(s.build_config(), SimConfig::default()).unwrap();
+        let mut mat_net = CoDbNetwork::build(s.build_config(), SimConfig::default()).unwrap();
         let o = mat_net.run_update(s.sink());
         let local = mat_net.run_query(s.sink(), s.sink_query(), false);
         assert_eq!(q.result.answers.len(), local.result.answers.len());
 
-        let amortise = o
-            .summary
-            .total_time
-            .as_nanos()
-            .div_ceil(q.duration.as_nanos().max(1));
+        let amortise = o.summary.total_time.as_nanos().div_ceil(q.duration.as_nanos().max(1));
         let first = fetch_net
             .node(s.sink())
             .report()
@@ -298,10 +292,7 @@ pub fn e9() -> Table {
         ("filter-GAV (50%)", RuleStyle::FilterGav { threshold: 1 << 39 }),
         ("project-GLAV", RuleStyle::ProjectGlav),
     ] {
-        let s = Scenario {
-            rule_style: style,
-            ..scenario(Topology::Chain(8), 1000)
-        };
+        let s = Scenario { rule_style: style, ..scenario(Topology::Chain(8), 1000) };
         let (o, host, net) = run_update(&s);
         let sink_rel = Scenario::relation_of(s.topology.sink());
         let nulls = net
@@ -423,9 +414,8 @@ pub fn chase_seminaive(config: &NetworkConfig) -> (u64, u64, Duration) {
             let mut produced: Vec<RuleFiring> = Vec::new();
             for (rel, ts) in source_deltas {
                 if rule.rule.body_relations().contains(rel.as_str()) {
-                    produced.extend(
-                        rule.rule.fire_delta(&instances[&rule.source], rel, ts).unwrap(),
-                    );
+                    produced
+                        .extend(rule.rule.fire_delta(&instances[&rule.source], rel, ts).unwrap());
                 }
             }
             derivations += produced.len() as u64;
@@ -466,7 +456,9 @@ pub fn e10() -> Table {
             "semi-naive ms",
         ],
     );
-    for topo in [Topology::Chain(8), Topology::Ring(4), Topology::Ring(8), Topology::Grid { w: 3, h: 3 }] {
+    for topo in
+        [Topology::Chain(8), Topology::Ring(4), Topology::Ring(8), Topology::Grid { w: 3, h: 3 }]
+    {
         let s = scenario(topo, 500);
         let config = s.build_config();
         let (nd, _, nt) = chase_naive(&config);
@@ -531,13 +523,9 @@ pub fn e12() -> Table {
         let s = scenario(Topology::Chain(6), 200);
         let pipe = PipeConfig::lan().with_loss(loss);
         let sim = SimConfig { seed: 99, default_pipe: pipe, max_events: 10_000_000 };
-        let settings = NodeSettings {
-            retransmit_after: SimTime::from_millis(20),
-            pipe,
-            ..Default::default()
-        };
-        let mut net =
-            CoDbNetwork::build_with(s.build_config(), sim, settings, false).unwrap();
+        let settings =
+            NodeSettings { retransmit_after: SimTime::from_millis(20), pipe, ..Default::default() };
+        let mut net = CoDbNetwork::build_with(s.build_config(), sim, settings, false).unwrap();
         let o = net.run_update(s.sink());
         let retransmits: u64 = net
             .network_report()
@@ -567,8 +555,7 @@ pub fn e13() -> Table {
     for leaves in [2usize, 4, 8, 16] {
         let s = scenario(Topology::Star { leaves }, 500);
         // Global update.
-        let mut g_net =
-            CoDbNetwork::build(s.build_config(), SimConfig::default()).unwrap();
+        let mut g_net = CoDbNetwork::build(s.build_config(), SimConfig::default()).unwrap();
         let g = g_net.run_update(s.sink());
         // Scoped update demanding a single leaf's relation... the hub's own
         // relation r0 is fed by every leaf, so to scope to one branch we
@@ -612,10 +599,7 @@ pub fn e14() -> Table {
         ("join (domain 16)", RuleStyle::JoinGav { join_domain: 16 }),
         ("join (domain 256)", RuleStyle::JoinGav { join_domain: 256 }),
     ] {
-        let s = Scenario {
-            rule_style: style,
-            ..scenario(Topology::Chain(6), 500)
-        };
+        let s = Scenario { rule_style: style, ..scenario(Topology::Chain(6), 500) };
         let (o, host, _) = run_update(&s);
         t.row(vec![
             name.to_string(),
@@ -668,8 +652,7 @@ pub fn e16() -> Table {
         let pipe = PipeConfig::lan().with_bandwidth(1_000_000);
         let settings = NodeSettings { pipe, ..Default::default() };
         let sim = SimConfig { seed: 1, default_pipe: pipe, max_events: 0 };
-        let mut net =
-            CoDbNetwork::build_with(s.build_config(), sim, settings, false).unwrap();
+        let mut net = CoDbNetwork::build_with(s.build_config(), sim, settings, false).unwrap();
         let o = net.run_update(s.sink());
         let mb = o.summary.data_bytes as f64 / 1e6;
         t.row(vec![
@@ -704,7 +687,7 @@ pub fn all() -> Vec<Table> {
     ]
 }
 
-/// Runs one experiment by id (`"e1"` … `"e12"`).
+/// Runs one experiment by id (`"e1"` … `"e16"`).
 pub fn by_id(id: &str) -> Option<Table> {
     match id {
         "e1" => Some(e1()),

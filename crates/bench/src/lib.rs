@@ -13,5 +13,5 @@ pub mod table;
 pub mod timeline;
 
 pub use experiments::{all, by_id};
-pub use timeline::render_timeline;
 pub use table::Table;
+pub use timeline::render_timeline;

@@ -74,10 +74,7 @@ mod tests {
 
     #[test]
     fn renders_chain_timeline() {
-        let s = Scenario {
-            tuples_per_node: 10,
-            ..Scenario::quick(Topology::Chain(4))
-        };
+        let s = Scenario { tuples_per_node: 10, ..Scenario::quick(Topology::Chain(4)) };
         let mut net = CoDbNetwork::build(s.build_config(), SimConfig::default()).unwrap();
         let o = net.run_update(s.sink());
         let report = net.network_report();

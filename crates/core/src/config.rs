@@ -22,9 +22,7 @@
 
 use crate::ids::NodeId;
 use crate::rules::CoordinationRule;
-use codb_relational::{
-    parse_facts, parse_rule, DatabaseSchema, RelationSchema, Tuple, ValueType,
-};
+use codb_relational::{parse_facts, parse_rule, DatabaseSchema, RelationSchema, Tuple, ValueType};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -94,10 +92,7 @@ impl NetworkConfig {
 
     /// Rules with `node` as source or target.
     pub fn rules_of(&self, node: NodeId) -> Vec<&CoordinationRule> {
-        self.rules
-            .iter()
-            .filter(|r| r.source == node || r.target == node)
-            .collect()
+        self.rules.iter().filter(|r| r.source == node || r.target == node).collect()
     }
 
     /// Rough wire size of the configuration when broadcast.
@@ -105,16 +100,9 @@ impl NetworkConfig {
         let node_bytes: usize = self
             .nodes
             .iter()
-            .map(|n| {
-                64 + n
-                    .schema
-                    .relations()
-                    .map(|r| r.name.len() + r.arity() * 8)
-                    .sum::<usize>()
-            })
+            .map(|n| 64 + n.schema.relations().map(|r| r.name.len() + r.arity() * 8).sum::<usize>())
             .sum();
-        let rule_bytes: usize =
-            self.rules.iter().map(|r| 64 + r.rule.to_string().len()).sum();
+        let rule_bytes: usize = self.rules.iter().map(|r| 64 + r.rule.to_string().len()).sum();
         node_bytes + rule_bytes
     }
 
@@ -188,8 +176,7 @@ impl NetworkConfig {
                 let rs = node.schema.get(rel).ok_or_else(|| {
                     err(format!("node {}: data for undeclared relation {}", node.name, rel))
                 })?;
-                rs.validate(tuple)
-                    .map_err(|e| err(format!("node {}: {e}", node.name)))?;
+                rs.validate(tuple).map_err(|e| err(format!("node {}: {e}", node.name)))?;
             }
         }
         Ok(())
@@ -220,8 +207,7 @@ impl NetworkConfig {
         }
         for node in &self.nodes {
             for (rel, tuple) in &node.data {
-                let values: Vec<String> =
-                    tuple.values().map(|v| v.to_string()).collect();
+                let values: Vec<String> = tuple.values().map(|v| v.to_string()).collect();
                 let _ = writeln!(out, "data {}: {}({}).", node.name, rel, values.join(", "));
             }
         }
@@ -231,9 +217,8 @@ impl NetworkConfig {
             // GlavRule's Display is `rule NAME: HEAD <- BODY`; strip the
             // prefix so the endpoints slot in.
             let rendered = rule.rule.to_string();
-            let body = rendered
-                .strip_prefix(&format!("rule {}: ", rule.name()))
-                .unwrap_or(&rendered);
+            let body =
+                rendered.strip_prefix(&format!("rule {}: ", rule.name())).unwrap_or(&rendered);
             let _ = writeln!(out, "rule {} @ {} -> {}: {}.", rule.name(), src, tgt, body);
         }
         out
@@ -268,32 +253,28 @@ impl NetworkConfig {
                     data: Vec::new(),
                 });
             } else if let Some(rest) = line.strip_prefix("schema ") {
-                let (node_name, decl) = rest
-                    .split_once(':')
-                    .ok_or_else(|| err(lineno, "schema needs ':'".into()))?;
+                let (node_name, decl) =
+                    rest.split_once(':').ok_or_else(|| err(lineno, "schema needs ':'".into()))?;
                 let node_name = node_name.trim();
                 let id = *ids
                     .get(node_name)
                     .ok_or_else(|| err(lineno, format!("unknown node {node_name}")))?;
-                let schema = parse_relation_schema(decl.trim())
-                    .map_err(|m| err(lineno, m))?;
+                let schema = parse_relation_schema(decl.trim()).map_err(|m| err(lineno, m))?;
                 config.nodes[id.0 as usize].schema.add(schema);
             } else if let Some(rest) = line.strip_prefix("data ") {
-                let (node_name, facts) = rest
-                    .split_once(':')
-                    .ok_or_else(|| err(lineno, "data needs ':'".into()))?;
+                let (node_name, facts) =
+                    rest.split_once(':').ok_or_else(|| err(lineno, "data needs ':'".into()))?;
                 let node_name = node_name.trim();
                 let id = *ids
                     .get(node_name)
                     .ok_or_else(|| err(lineno, format!("unknown node {node_name}")))?;
-                let parsed = parse_facts(facts)
-                    .map_err(|e| err(lineno, format!("bad facts: {e}")))?;
+                let parsed =
+                    parse_facts(facts).map_err(|e| err(lineno, format!("bad facts: {e}")))?;
                 config.nodes[id.0 as usize].data.extend(parsed);
             } else if let Some(rest) = line.strip_prefix("rule ") {
                 // rule NAME @ SRC -> TGT: RULE_TEXT
-                let (header, rule_text) = rest
-                    .split_once(':')
-                    .ok_or_else(|| err(lineno, "rule needs ':'".into()))?;
+                let (header, rule_text) =
+                    rest.split_once(':').ok_or_else(|| err(lineno, "rule needs ':'".into()))?;
                 let (name, endpoints) = header
                     .split_once('@')
                     .ok_or_else(|| err(lineno, "rule needs '@ src -> tgt'".into()))?;
@@ -314,10 +295,8 @@ impl NetworkConfig {
                 rule.name = name;
                 config.rules.push(CoordinationRule { rule, source, target });
             } else if let Some(rest) = line.strip_prefix("version ") {
-                config.version = rest
-                    .trim()
-                    .parse()
-                    .map_err(|_| err(lineno, "bad version".into()))?;
+                config.version =
+                    rest.trim().parse().map_err(|_| err(lineno, "bad version".into()))?;
             } else {
                 return Err(err(lineno, format!("unrecognised directive: {line}")));
             }
@@ -330,12 +309,9 @@ impl NetworkConfig {
 /// Parses `rel(str, int, bool)` into a [`RelationSchema`].
 fn parse_relation_schema(decl: &str) -> Result<RelationSchema, String> {
     let decl = decl.trim().trim_end_matches('.');
-    let (name, rest) = decl
-        .split_once('(')
-        .ok_or_else(|| format!("bad relation declaration {decl:?}"))?;
-    let inner = rest
-        .strip_suffix(')')
-        .ok_or_else(|| format!("missing ')' in {decl:?}"))?;
+    let (name, rest) =
+        decl.split_once('(').ok_or_else(|| format!("bad relation declaration {decl:?}"))?;
+    let inner = rest.strip_suffix(')').ok_or_else(|| format!("missing ')' in {decl:?}"))?;
     let name = name.trim();
     if name.is_empty() {
         return Err("empty relation name".into());
@@ -445,6 +421,55 @@ mod tests {
         let c = NetworkConfig::parse(src).unwrap();
         assert!(c.nodes[0].data.is_empty());
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_rule_syntax() {
+        let src = "node a\nnode b\nschema a: t(int)\nschema b: u(int)\n\
+                   rule r @ a -> b: u(X <- t(X).";
+        let e = NetworkConfig::parse(src).unwrap_err();
+        assert!(e.message.contains("bad rule"), "{e}");
+        assert_eq!(e.line, 5);
+    }
+
+    #[test]
+    fn rejects_malformed_rule_headers() {
+        // Missing ':' between header and rule text.
+        let e = NetworkConfig::parse("node a\nrule r @ a -> a t(X) <- t(X)").unwrap_err();
+        assert!(e.message.contains("rule needs ':'"), "{e}");
+        // Missing '@ src -> tgt'.
+        let e = NetworkConfig::parse("node a\nrule r: t(X) <- t(X).").unwrap_err();
+        assert!(e.message.contains("'@ src -> tgt'"), "{e}");
+        // Missing '->' between endpoints.
+        let e = NetworkConfig::parse("node a\nrule r @ a: t(X) <- t(X).").unwrap_err();
+        assert!(e.message.contains("'src -> tgt'"), "{e}");
+    }
+
+    #[test]
+    fn rejects_unknown_nodes_in_schema_and_data() {
+        let e = NetworkConfig::parse("schema ghost: t(int)").unwrap_err();
+        assert!(e.message.contains("unknown node ghost"), "{e}");
+        assert_eq!(e.line, 1);
+        let e = NetworkConfig::parse("node a\nschema a: t(int)\ndata ghost: t(1).").unwrap_err();
+        assert!(e.message.contains("unknown node ghost"), "{e}");
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn rejects_body_arity_mismatch_naming_the_rule() {
+        let src = "node a\nnode b\nschema a: t(int, int)\nschema b: u(int)\n\
+                   rule r @ a -> b: u(X) <- t(X).";
+        let e = NetworkConfig::parse(src).unwrap_err();
+        assert!(e.message.contains("arity"), "{e}");
+        assert!(e.message.contains("rule r"), "{e}");
+    }
+
+    #[test]
+    fn rejects_bad_version_and_bad_node_names() {
+        let e = NetworkConfig::parse("version six").unwrap_err();
+        assert!(e.message.contains("bad version"), "{e}");
+        let e = NetworkConfig::parse("node two words").unwrap_err();
+        assert!(e.message.contains("bad node name"), "{e}");
     }
 
     #[test]

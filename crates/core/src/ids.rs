@@ -33,9 +33,7 @@ impl fmt::Display for NodeId {
 /// sequence number. The paper generates these with JXTA ("all global update
 /// request messages carry the same unique identifier generated at the node
 /// which started the global update").
-#[derive(
-    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct UpdateId {
     /// Node that started the update.
     pub origin: NodeId,
@@ -50,9 +48,7 @@ impl fmt::Display for UpdateId {
 }
 
 /// Identifier of one user query execution.
-#[derive(
-    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct QueryId {
     /// Node the user queried.
     pub origin: NodeId,
@@ -68,9 +64,7 @@ impl fmt::Display for QueryId {
 
 /// Identifier of one query-time fetch request (a node asking an
 /// acquaintance to execute one coordination rule on behalf of a query).
-#[derive(
-    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ReqId {
     /// The requesting node.
     pub node: NodeId,

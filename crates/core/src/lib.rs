@@ -20,6 +20,27 @@
 //!   and network-wide statistics collection.
 //! * [`network::CoDbNetwork`] — the harness running everything on the
 //!   deterministic `codb-net` simulator.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use codb_core::{CoDbNetwork, NetworkConfig};
+//! use codb_net::SimConfig;
+//!
+//! let config = NetworkConfig::parse(r#"
+//!     node hr
+//!     node portal
+//!     schema hr: emp(str, int)
+//!     schema portal: person(str, int)
+//!     data hr: emp("alice", 30). emp("bob", 17).
+//!     rule r1 @ hr -> portal: person(N, A) <- emp(N, A), A >= 18.
+//! "#).unwrap();
+//!
+//! let mut net = CoDbNetwork::build(config, SimConfig::default()).unwrap();
+//! let portal = net.node_id("portal").unwrap();
+//! let outcome = net.run_update(portal);
+//! assert_eq!(outcome.summary.tuples_added, 1); // alice is 18+, bob is not
+//! ```
 
 #![warn(missing_docs)]
 

@@ -260,13 +260,8 @@ mod tests {
     #[test]
     fn ds_counting_covers_work_messages() {
         assert!(Body::UpdateRequest { update: upd() }.is_ds_counted());
-        assert!(Body::UpdateData {
-            update: upd(),
-            rule: "r".into(),
-            firings: vec![],
-            hops: 1
-        }
-        .is_ds_counted());
+        assert!(Body::UpdateData { update: upd(), rule: "r".into(), firings: vec![], hops: 1 }
+            .is_ds_counted());
         assert!(Body::LinkClosed { update: upd(), rule: "r".into(), data_msgs: 0 }.is_ds_counted());
         assert!(!Body::DsAck { update: upd(), credits: 1 }.is_ds_counted());
         assert!(!Body::UpdateComplete { update: upd() }.is_ds_counted());
@@ -282,23 +277,15 @@ mod tests {
 
     #[test]
     fn sizes_scale_with_firings() {
-        let small = Body::UpdateData {
-            update: upd(),
-            rule: "r".into(),
-            firings: vec![],
-            hops: 1,
-        };
+        let small = Body::UpdateData { update: upd(), rule: "r".into(), firings: vec![], hops: 1 };
         let firing = codb_relational::RuleFiring {
-            atoms: vec![("t".into(), vec![codb_relational::TField::Const(
-                codb_relational::Value::Int(1),
-            )])],
+            atoms: vec![(
+                "t".into(),
+                vec![codb_relational::TField::Const(codb_relational::Value::Int(1))],
+            )],
         };
-        let big = Body::UpdateData {
-            update: upd(),
-            rule: "r".into(),
-            firings: vec![firing],
-            hops: 1,
-        };
+        let big =
+            Body::UpdateData { update: upd(), rule: "r".into(), firings: vec![firing], hops: 1 };
         assert!(big.size_bytes() > small.size_bytes());
         assert!(Envelope::control(Body::StatsRequest).size_bytes() >= 16);
     }
@@ -307,8 +294,7 @@ mod tests {
     fn kinds_are_distinct_for_update_protocol() {
         let kinds = [
             Body::UpdateRequest { update: upd() }.kind(),
-            Body::UpdateData { update: upd(), rule: "r".into(), firings: vec![], hops: 0 }
-                .kind(),
+            Body::UpdateData { update: upd(), rule: "r".into(), firings: vec![], hops: 0 }.kind(),
             Body::LinkClosed { update: upd(), rule: "r".into(), data_msgs: 0 }.kind(),
             Body::DsAck { update: upd(), credits: 1 }.kind(),
             Body::UpdateComplete { update: upd() }.kind(),

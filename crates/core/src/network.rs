@@ -153,10 +153,8 @@ impl CoDbNetwork {
         let (m0, b0) = (self.sim.stats().sent, self.sim.stats().bytes_sent);
         self.run_control(origin, Body::StartUpdate);
         let stats = self.sim.stats();
-        let summary = self
-            .network_report()
-            .summarise(update)
-            .expect("update ran on at least the origin");
+        let summary =
+            self.network_report().summarise(update).expect("update ran on at least the origin");
         UpdateOutcome {
             update,
             // Message-driven duration (first start to last close), so idle
@@ -172,20 +170,14 @@ impl CoDbNetwork {
 
     /// Starts a query-dependent (scoped) update at `origin`: only data
     /// feeding `relations` is materialised. Returns the outcome.
-    pub fn run_scoped_update(
-        &mut self,
-        origin: NodeId,
-        relations: Vec<String>,
-    ) -> UpdateOutcome {
+    pub fn run_scoped_update(&mut self, origin: NodeId, relations: Vec<String>) -> UpdateOutcome {
         let seq = self.node(origin).update_state_seq();
         let update = UpdateId { origin, seq };
         let (m0, b0) = (self.sim.stats().sent, self.sim.stats().bytes_sent);
         self.run_control(origin, Body::StartScopedUpdate { relations });
         let stats = self.sim.stats();
-        let summary = self
-            .network_report()
-            .summarise(update)
-            .expect("update ran on at least the origin");
+        let summary =
+            self.network_report().summarise(update).expect("update ran on at least the origin");
         UpdateOutcome {
             update,
             duration: summary.total_time,
@@ -243,10 +235,7 @@ impl CoDbNetwork {
         config.validate()?;
         let sp = self.superpeer.expect("network built with a super-peer");
         self.config = config.clone();
-        self.sim
-            .peer_mut(sp.peer())
-            .expect("super-peer exists")
-            .set_superpeer_config(config);
+        self.sim.peer_mut(sp.peer()).expect("super-peer exists").set_superpeer_config(config);
         Ok(self.run_control(sp, Body::BroadcastRules))
     }
 
@@ -276,10 +265,7 @@ impl CoDbNetwork {
 
     /// Total tuples across all node LDBs.
     pub fn total_tuples(&self) -> usize {
-        self.sim
-            .peers()
-            .map(|(_, n)| n.ldb().tuple_count())
-            .sum()
+        self.sim.peers().map(|(_, n)| n.ldb().tuple_count()).sum()
     }
 }
 

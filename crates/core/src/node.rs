@@ -16,9 +16,7 @@ use crate::rules::{CoordinationRule, RuleBook};
 use crate::stats::{NetworkReport, NodeReport};
 use crate::update::UpdateState;
 use codb_net::{Context, Peer, PeerId, PipeConfig, SimTime};
-use codb_relational::{
-    ConjunctiveQuery, DatabaseSchema, Instance, NullFactory, Tuple,
-};
+use codb_relational::{ConjunctiveQuery, DatabaseSchema, Instance, NullFactory, Tuple};
 use std::collections::BTreeMap;
 
 /// Tunables of one node.
@@ -72,8 +70,10 @@ pub struct CoDbNode {
     pub(crate) next_update_seq: u64,
     /// Sender-side per-link firing caches; keyed by `(rule, None)` in
     /// incremental mode, `(rule, Some(update))` otherwise.
-    pub(crate) sent_cache:
-        BTreeMap<(RuleName, Option<UpdateId>), std::collections::BTreeSet<codb_relational::RuleFiring>>,
+    pub(crate) sent_cache: BTreeMap<
+        (RuleName, Option<UpdateId>),
+        std::collections::BTreeSet<codb_relational::RuleFiring>,
+    >,
     /// Receiver-side per-link template caches (always cross-update).
     pub(crate) recv_cache:
         BTreeMap<RuleName, std::collections::BTreeSet<codb_relational::RuleFiring>>,
@@ -214,10 +214,7 @@ impl CoDbNode {
         if body.is_ds_counted() {
             if let Some(u) = body.update_id() {
                 let now = ctx.now();
-                let st = self
-                    .updates
-                    .entry(u)
-                    .or_insert_with(|| UpdateState::new(u, now));
+                let st = self.updates.entry(u).or_insert_with(|| UpdateState::new(u, now));
                 st.deficit += 1;
             }
         }
@@ -254,17 +251,11 @@ impl Peer<Envelope> for CoDbNode {
     fn on_start(&mut self, ctx: &mut Context<Envelope>) {
         ctx.advertise(codb_net::Advertisement::peer(self.id.peer(), "codb-node"));
         if self.superpeer_config.is_some() {
-            ctx.advertise(codb_net::Advertisement::service(
-                self.id.peer(),
-                "super-peer",
-            ));
+            ctx.advertise(codb_net::Advertisement::service(self.id.peer(), "super-peer"));
             // The super-peer keeps a pipe to every declared node so it can
             // broadcast rule files and collect statistics.
-            let ids: Vec<NodeId> = self
-                .superpeer_config
-                .as_ref()
-                .map(|c| c.node_ids())
-                .unwrap_or_default();
+            let ids: Vec<NodeId> =
+                self.superpeer_config.as_ref().map(|c| c.node_ids()).unwrap_or_default();
             for id in ids {
                 if id != self.id {
                     ctx.open_pipe(id.peer(), self.settings.pipe);
@@ -313,9 +304,7 @@ impl Peer<Envelope> for CoDbNode {
             Body::StatsReport { report } => self.collected.ingest(*report),
             // ---- harness control ----
             Body::StartUpdate => self.start_update(ctx),
-            Body::StartScopedUpdate { relations } => {
-                self.start_scoped_update(ctx, relations)
-            }
+            Body::StartScopedUpdate { relations } => self.start_scoped_update(ctx, relations),
             Body::StartQuery { query, fetch } => self.start_query(ctx, *query, fetch),
             Body::CollectStats => self.handle_collect_stats(ctx),
             Body::BroadcastRules => self.handle_broadcast_rules(ctx),

@@ -98,12 +98,7 @@ impl CoDbNode {
         self.book
             .outgoing
             .iter()
-            .filter(|(_, r)| {
-                r.rule
-                    .head_relations()
-                    .iter()
-                    .any(|h| relations.contains(*h))
-            })
+            .filter(|(_, r)| r.rule.head_relations().iter().any(|h| relations.contains(*h)))
             .filter(|(_, r)| !path.contains(&r.source))
             .map(|(name, r)| (name.clone(), r.source))
             .collect()
@@ -142,9 +137,7 @@ impl CoDbNode {
         let query_id = QueryId { origin: self.id, seq: self.next_query_seq };
         self.next_query_seq += 1;
         let now = ctx.now();
-        self.report
-            .queries
-            .insert(query_id, crate::stats::QueryReport::new(query_id, now));
+        self.report.queries.insert(query_id, crate::stats::QueryReport::new(query_id, now));
 
         if !fetch {
             let answers = self.local_answer(&query).unwrap_or_default();
@@ -166,11 +159,7 @@ impl CoDbNode {
             if let Some(rep) = self.report.queries.get_mut(&query_id) {
                 rep.requests_sent += 1;
             }
-            self.post(
-                ctx,
-                source,
-                Body::QueryRequest { req, rule, path: vec![self.id] },
-            );
+            self.post(ctx, source, Body::QueryRequest { req, rule, path: vec![self.id] });
         }
         let exec = QueryExec { query, overlay, pending };
         if exec.pending.is_empty() {
@@ -212,19 +201,11 @@ impl CoDbNode {
     ) {
         let Some(link) = self.book.incoming.get(&rule) else {
             // Stale rule: answer empty so the requester can make progress.
-            self.post(
-                ctx,
-                from,
-                Body::QueryAnswer { req, firings: vec![], closed: true },
-            );
+            self.post(ctx, from, Body::QueryAnswer { req, firings: vec![], closed: true });
             return;
         };
-        let body_rels: BTreeSet<String> = link
-            .rule
-            .body_relations()
-            .into_iter()
-            .map(str::to_owned)
-            .collect();
+        let body_rels: BTreeSet<String> =
+            link.rule.body_relations().into_iter().map(str::to_owned).collect();
         let mut path = path;
         path.push(self.id);
         let links = self.fetchable_links(&body_rels, &path);
@@ -234,16 +215,9 @@ impl CoDbNode {
         // The paper: "when node gets a query request, it answers it using
         // local data immediately, and it forwards it through all outgoing
         // links" — stream the local instalment now, nested data later.
-        let initial = self.book.incoming[&rule]
-            .rule
-            .fire(&overlay)
-            .expect("schema-validated rule");
+        let initial = self.book.incoming[&rule].rule.fire(&overlay).expect("schema-validated rule");
         let done = links.is_empty();
-        self.post(
-            ctx,
-            from,
-            Body::QueryAnswer { req, firings: initial.clone(), closed: done },
-        );
+        self.post(ctx, from, Body::QueryAnswer { req, firings: initial.clone(), closed: done });
         if done {
             return;
         }
@@ -336,11 +310,7 @@ impl CoDbNode {
                     self.post(
                         ctx,
                         requester,
-                        Body::QueryAnswer {
-                            req: original_req,
-                            firings: fresh,
-                            closed: finished,
-                        },
+                        Body::QueryAnswer { req: original_req, firings: fresh, closed: finished },
                     );
                 }
             }

@@ -56,8 +56,7 @@ impl Reliable {
     pub fn wrap(&mut self, to: NodeId, body: Body) -> Envelope {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.outstanding
-            .insert(seq, Outstanding { to, body: body.clone(), attempts: 0 });
+        self.outstanding.insert(seq, Outstanding { to, body: body.clone(), attempts: 0 });
         Envelope { seq: Some(seq), body }
     }
 
@@ -103,9 +102,7 @@ impl Reliable {
     pub fn pending(&self) -> Vec<(NodeId, Envelope)> {
         self.outstanding
             .iter()
-            .map(|(seq, o)| {
-                (o.to, Envelope { seq: Some(*seq), body: o.body.clone() })
-            })
+            .map(|(seq, o)| (o.to, Envelope { seq: Some(*seq), body: o.body.clone() }))
             .collect()
     }
 

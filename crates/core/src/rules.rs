@@ -104,12 +104,7 @@ impl RuleBook {
     pub fn incoming_reading(&self, relations: &BTreeSet<String>) -> BTreeSet<RuleName> {
         self.incoming
             .values()
-            .filter(|i| {
-                i.rule
-                    .body_relations()
-                    .iter()
-                    .any(|b| relations.contains(*b))
-            })
+            .filter(|i| i.rule.body_relations().iter().any(|b| relations.contains(*b)))
             .map(|i| i.name().to_owned())
             .collect()
     }
@@ -133,9 +128,7 @@ pub fn link_graph_is_cyclic(rules: &[CoordinationRule]) -> bool {
     for (i, r) in rules.iter().enumerate() {
         let heads = r.rule.head_relations();
         for (j, r2) in rules.iter().enumerate() {
-            if r2.source == r.target
-                && r2.rule.body_relations().iter().any(|b| heads.contains(b))
-            {
+            if r2.source == r.target && r2.rule.body_relations().iter().any(|b| heads.contains(b)) {
                 adj[i].push(j);
             }
         }
@@ -237,10 +230,7 @@ mod tests {
 
     #[test]
     fn book_splits_roles() {
-        let rules = vec![
-            rule("a", 1, 2, "t(X) <- s(X)"),
-            rule("b", 2, 3, "u(X) <- t(X)"),
-        ];
+        let rules = vec![rule("a", 1, 2, "t(X) <- s(X)"), rule("b", 2, 3, "u(X) <- t(X)")];
         let book = RuleBook::for_node(NodeId(2), &rules);
         assert!(book.outgoing.contains_key("a")); // node 2 imports via a
         assert!(book.incoming.contains_key("b")); // node 2 serves b
@@ -263,16 +253,10 @@ mod tests {
 
     #[test]
     fn incoming_reading_groups_by_relation() {
-        let rules = vec![
-            rule("b", 2, 3, "u(X) <- t(X)"),
-            rule("c", 2, 4, "w(X) <- t(X), v(X)"),
-        ];
+        let rules = vec![rule("b", 2, 3, "u(X) <- t(X)"), rule("c", 2, 4, "w(X) <- t(X), v(X)")];
         let book = RuleBook::for_node(NodeId(2), &rules);
         let rels: BTreeSet<String> = ["t".to_owned()].into();
-        assert_eq!(
-            book.incoming_reading(&rels),
-            ["b".to_owned(), "c".to_owned()].into()
-        );
+        assert_eq!(book.incoming_reading(&rels), ["b".to_owned(), "c".to_owned()].into());
         let rels2: BTreeSet<String> = ["v".to_owned()].into();
         assert_eq!(book.incoming_reading(&rels2), ["c".to_owned()].into());
     }
@@ -289,37 +273,22 @@ mod tests {
     fn link_level_cyclicity_is_exact() {
         // Node-level cycle a<->b, but the relations don't feed each other:
         // a sends t-data to b, b sends u-data (from v) to a — no recursion.
-        let rules = vec![
-            rule("ab", 1, 2, "t(X) <- s(X)"),
-            rule("ba", 2, 1, "w(X) <- v(X)"),
-        ];
+        let rules = vec![rule("ab", 1, 2, "t(X) <- s(X)"), rule("ba", 2, 1, "w(X) <- v(X)")];
         assert!(rule_graph_is_cyclic(&rules), "node-level sees a cycle");
         assert!(!link_graph_is_cyclic(&rules), "link-level knows better");
         // Genuinely recursive: b's export reads what a's export wrote.
-        let rec = vec![
-            rule("ab", 1, 2, "t(X) <- s(X)"),
-            rule("ba", 2, 1, "s(X) <- t(X)"),
-        ];
+        let rec = vec![rule("ab", 1, 2, "t(X) <- s(X)"), rule("ba", 2, 1, "s(X) <- t(X)")];
         assert!(link_graph_is_cyclic(&rec));
         // Chain is acyclic at both levels.
-        let chain = vec![
-            rule("a", 1, 2, "t(X) <- s(X)"),
-            rule("b", 2, 3, "u(X) <- t(X)"),
-        ];
+        let chain = vec![rule("a", 1, 2, "t(X) <- s(X)"), rule("b", 2, 3, "u(X) <- t(X)")];
         assert!(!link_graph_is_cyclic(&chain));
     }
 
     #[test]
     fn cyclicity_detection() {
-        let chain = vec![
-            rule("a", 1, 2, "t(X) <- s(X)"),
-            rule("b", 2, 3, "u(X) <- t(X)"),
-        ];
+        let chain = vec![rule("a", 1, 2, "t(X) <- s(X)"), rule("b", 2, 3, "u(X) <- t(X)")];
         assert!(!rule_graph_is_cyclic(&chain));
-        let ring = vec![
-            rule("a", 1, 2, "t(X) <- s(X)"),
-            rule("b", 2, 1, "s(X) <- t(X)"),
-        ];
+        let ring = vec![rule("a", 1, 2, "t(X) <- s(X)"), rule("b", 2, 1, "s(X) <- t(X)")];
         assert!(rule_graph_is_cyclic(&ring));
         let self_loop = vec![rule("a", 1, 1, "t(X) <- s(X)")];
         assert!(rule_graph_is_cyclic(&self_loop));

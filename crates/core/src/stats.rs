@@ -15,28 +15,30 @@ use std::collections::BTreeMap;
 
 /// Serializes maps with non-string keys as sequences of pairs so the
 /// reports stay JSON-compatible (JSON object keys must be strings).
+/// Written against the vendored serde shim's value-tree API.
 mod pairs {
-    use serde::de::{Deserialize, Deserializer};
-    use serde::ser::{Serialize, Serializer};
+    use serde::de::{Deserialize, Error};
+    use serde::ser::Serialize;
+    use serde::Value;
     use std::collections::BTreeMap;
 
-    pub fn serialize<K, V, S>(map: &BTreeMap<K, V>, s: S) -> Result<S::Ok, S::Error>
+    pub fn to_value<K, V>(map: &BTreeMap<K, V>) -> Value
     where
         K: Serialize,
         V: Serialize,
-        S: Serializer,
     {
-        s.collect_seq(map.iter())
+        Value::Array(
+            map.iter().map(|(k, v)| Value::Array(vec![k.to_value(), v.to_value()])).collect(),
+        )
     }
 
-    pub fn deserialize<'de, K, V, D>(d: D) -> Result<BTreeMap<K, V>, D::Error>
+    pub fn from_value<K, V>(v: &Value) -> Result<BTreeMap<K, V>, Error>
     where
-        K: Deserialize<'de> + Ord,
-        V: Deserialize<'de>,
-        D: Deserializer<'de>,
+        K: Deserialize + Ord,
+        V: Deserialize,
     {
-        let v: Vec<(K, V)> = Vec::deserialize(d)?;
-        Ok(v.into_iter().collect())
+        let pairs: Vec<(K, V)> = Deserialize::from_value(v)?;
+        Ok(pairs.into_iter().collect())
     }
 }
 
@@ -110,9 +112,7 @@ impl UpdateReport {
 
     /// Node-local duration from start to close (or completion).
     pub fn duration(&self) -> Option<SimTime> {
-        self.closed_at
-            .or(self.completed_at)
-            .map(|t| t.saturating_sub(self.started_at))
+        self.closed_at.or(self.completed_at).map(|t| t.saturating_sub(self.started_at))
     }
 }
 
@@ -196,9 +196,7 @@ impl NodeReport {
 
     /// The report for `update`, created at `now` on first touch.
     pub fn update_mut(&mut self, update: UpdateId, now: SimTime) -> &mut UpdateReport {
-        self.updates
-            .entry(update)
-            .or_insert_with(|| UpdateReport::new(update, now))
+        self.updates.entry(update).or_insert_with(|| UpdateReport::new(update, now))
     }
 }
 
@@ -250,11 +248,8 @@ impl NetworkReport {
 
     /// Update ids seen anywhere.
     pub fn update_ids(&self) -> Vec<UpdateId> {
-        let mut ids: Vec<UpdateId> = self
-            .nodes
-            .values()
-            .flat_map(|n| n.updates.keys().copied())
-            .collect();
+        let mut ids: Vec<UpdateId> =
+            self.nodes.values().flat_map(|n| n.updates.keys().copied()).collect();
         ids.sort();
         ids.dedup();
         ids
@@ -270,9 +265,7 @@ impl NetworkReport {
             let Some(r) = node.updates.get(&update) else { continue };
             seen = true;
             summary.nodes += 1;
-            if r.closed_at.is_some()
-                && (r.completed_at.is_none() || r.closed_at < r.completed_at)
-            {
+            if r.closed_at.is_some() && (r.completed_at.is_none() || r.closed_at < r.completed_at) {
                 summary.closed_early += 1;
             }
             started = Some(started.map_or(r.started_at, |s| s.min(r.started_at)));
@@ -348,10 +341,7 @@ mod tests {
             r.closed_at = Some(SimTime::from_millis(10 + i));
             r.longest_path = i + 1;
             r.tuples_added = 10;
-            r.received
-                .entry("r1".into())
-                .or_default()
-                .record(2, 100);
+            r.received.entry("r1".into()).or_default().record(2, 100);
             net.ingest(n);
         }
         let s = net.summarise(upd()).unwrap();

@@ -40,11 +40,7 @@ impl CoDbNode {
     /// Applies a received coordination-rules file: replace the rule book,
     /// drop pipes that no longer carry rules, open missing ones, and adopt
     /// any newly declared relations of this node's schema.
-    pub(crate) fn handle_rules_file(
-        &mut self,
-        ctx: &mut Context<Envelope>,
-        config: NetworkConfig,
-    ) {
+    pub(crate) fn handle_rules_file(&mut self, ctx: &mut Context<Envelope>, config: NetworkConfig) {
         if config.version < self.config_version {
             return; // stale broadcast
         }
@@ -96,11 +92,7 @@ impl CoDbNode {
     }
 
     /// Answers a statistics request with this node's report.
-    pub(crate) fn handle_stats_request(
-        &mut self,
-        ctx: &mut Context<Envelope>,
-        from: NodeId,
-    ) {
+    pub(crate) fn handle_stats_request(&mut self, ctx: &mut Context<Envelope>, from: NodeId) {
         let mut report = self.report.clone();
         report.ldb_tuples = self.ldb.tuple_count() as u64;
         self.post(ctx, from, Body::StatsReport { report: Box::new(report) });

@@ -110,10 +110,7 @@ impl CoDbNode {
         let update = UpdateId { origin: self.id, seq: self.next_update_seq };
         self.next_update_seq += 1;
         let now = ctx.now();
-        let st = self
-            .updates
-            .entry(update)
-            .or_insert_with(|| UpdateState::new(update, now));
+        let st = self.updates.entry(update).or_insert_with(|| UpdateState::new(update, now));
         st.initiator = true;
         st.engaged = true;
         self.report.update_mut(update, now);
@@ -132,10 +129,7 @@ impl CoDbNode {
         let update = UpdateId { origin: self.id, seq: self.next_update_seq };
         self.next_update_seq += 1;
         let now = ctx.now();
-        let st = self
-            .updates
-            .entry(update)
-            .or_insert_with(|| UpdateState::new(update, now));
+        let st = self.updates.entry(update).or_insert_with(|| UpdateState::new(update, now));
         st.initiator = true;
         st.engaged = true;
         st.scoped = true;
@@ -159,12 +153,7 @@ impl CoDbNode {
             .book
             .outgoing
             .iter()
-            .filter(|(_, r)| {
-                r.rule
-                    .head_relations()
-                    .iter()
-                    .any(|h| relations.contains(*h))
-            })
+            .filter(|(_, r)| r.rule.head_relations().iter().any(|h| relations.contains(*h)))
             .map(|(name, r)| (name.clone(), r.source))
             .collect();
         for (name, source) in wanted {
@@ -210,30 +199,18 @@ impl CoDbNode {
 
     /// DS wrapper: engagement bookkeeping around the three DS-counted
     /// message kinds.
-    pub(crate) fn dispatch_ds(
-        &mut self,
-        ctx: &mut Context<Envelope>,
-        from: NodeId,
-        body: Body,
-    ) {
+    pub(crate) fn dispatch_ds(&mut self, ctx: &mut Context<Envelope>, from: NodeId, body: Body) {
         let update = body.update_id().expect("DS messages carry an update id");
         let now = ctx.now();
-        let st = self
-            .updates
-            .entry(update)
-            .or_insert_with(|| UpdateState::new(update, now));
+        let st = self.updates.entry(update).or_insert_with(|| UpdateState::new(update, now));
         let engaging = !st.engaged && !st.initiator;
         if engaging {
             st.engaged = true;
             st.parent = Some(from);
         }
         match body {
-            Body::UpdateRequest { update } => {
-                self.process_update_request(ctx, Some(from), update)
-            }
-            Body::DemandLink { update, rule } => {
-                self.process_demand_link(ctx, update, rule)
-            }
+            Body::UpdateRequest { update } => self.process_update_request(ctx, Some(from), update),
+            Body::DemandLink { update, rule } => self.process_demand_link(ctx, update, rule),
             Body::UpdateData { update, rule, firings, hops } => {
                 self.process_update_data(ctx, update, rule, firings, hops)
             }
@@ -267,12 +244,8 @@ impl CoDbNode {
         st.request_seen = true;
 
         // Initial execution of every incoming link over the current LDB.
-        let incoming: Vec<(RuleName, NodeId)> = self
-            .book
-            .incoming
-            .iter()
-            .map(|(name, r)| (name.clone(), r.target))
-            .collect();
+        let incoming: Vec<(RuleName, NodeId)> =
+            self.book.incoming.iter().map(|(name, r)| (name.clone(), r.target)).collect();
         for (name, target) in &incoming {
             let rule = &self.book.incoming[name].rule;
             let firings = rule.fire(&self.ldb).expect("schema-validated rule");
@@ -334,9 +307,8 @@ impl CoDbNode {
         let fresh: Vec<RuleFiring> =
             firings.into_iter().filter(|f| cache.insert(f.clone())).collect();
         if !fresh.is_empty() {
-            let deltas =
-                codb_relational::apply_firings(&mut self.ldb, &fresh, &mut self.nulls)
-                    .expect("firings validated against schema");
+            let deltas = codb_relational::apply_firings(&mut self.ldb, &fresh, &mut self.nulls)
+                .expect("firings validated against schema");
             let added: u64 = deltas.values().map(|v| v.len() as u64).sum();
             self.report.update_mut(update, now).tuples_added += added;
             if !deltas.is_empty() {
@@ -357,12 +329,7 @@ impl CoDbNode {
     }
 
     /// Marks outgoing link `rule` closed and runs the close cascade.
-    fn commit_link_close(
-        &mut self,
-        ctx: &mut Context<Envelope>,
-        update: UpdateId,
-        rule: RuleName,
-    ) {
+    fn commit_link_close(&mut self, ctx: &mut Context<Envelope>, update: UpdateId, rule: RuleName) {
         let now = ctx.now();
         let st = self.updates.get_mut(&update).expect("state exists");
         st.pending_close.remove(&rule);
@@ -397,8 +364,7 @@ impl CoDbNode {
             for (rel, tuples) in deltas {
                 if rule.body_relations().contains(rel.as_str()) {
                     firings.extend(
-                        rule.fire_delta(&self.ldb, rel, tuples)
-                            .expect("schema-validated rule"),
+                        rule.fire_delta(&self.ldb, rel, tuples).expect("schema-validated rule"),
                     );
                 }
             }
@@ -491,10 +457,7 @@ impl CoDbNode {
             .filter(|(name, _)| !st.scoped || st.active_in.contains(*name))
             .filter(|(name, _)| !st.in_closed.contains(*name))
             .filter(|(name, _)| {
-                self.book
-                    .relevant_outgoing(name)
-                    .iter()
-                    .all(|o| st.out_closed.contains(o))
+                self.book.relevant_outgoing(name).iter().all(|o| st.out_closed.contains(o))
             })
             .map(|(name, r)| (name.clone(), r.target))
             .collect();
@@ -516,10 +479,7 @@ impl CoDbNode {
         let closed = if st.scoped {
             st.requested_out.iter().all(|name| st.out_closed.contains(name))
         } else {
-            self.book
-                .outgoing
-                .keys()
-                .all(|name| st.out_closed.contains(name))
+            self.book.outgoing.keys().all(|name| st.out_closed.contains(name))
         };
         if closed {
             let rep = self.report.update_mut(update, now);
@@ -537,10 +497,7 @@ impl CoDbNode {
         credits: u64,
     ) {
         let now = ctx.now();
-        let st = self
-            .updates
-            .entry(update)
-            .or_insert_with(|| UpdateState::new(update, now));
+        let st = self.updates.entry(update).or_insert_with(|| UpdateState::new(update, now));
         debug_assert!(st.deficit >= credits, "credit underflow");
         st.deficit = st.deficit.saturating_sub(credits);
         self.maybe_disengage(ctx, update);
@@ -581,10 +538,7 @@ impl CoDbNode {
         update: UpdateId,
     ) {
         let now = ctx.now();
-        let st = self
-            .updates
-            .entry(update)
-            .or_insert_with(|| UpdateState::new(update, now));
+        let st = self.updates.entry(update).or_insert_with(|| UpdateState::new(update, now));
         if st.complete {
             return;
         }

@@ -67,10 +67,7 @@ fn chain_config(n: usize, tuples: usize) -> String {
     }
     s.push('\n');
     for i in 0..n - 1 {
-        s.push_str(&format!(
-            "rule c{i} @ node{i} -> node{j}: r(X) <- r(X).\n",
-            j = i + 1
-        ));
+        s.push_str(&format!("rule c{i} @ node{i} -> node{j}: r(X) <- r(X).\n", j = i + 1));
     }
     s
 }
@@ -272,10 +269,7 @@ fn comparison_predicates_filter_at_the_source() {
     let mut net = build(src);
     let t = net.node_id("t").unwrap();
     net.run_update(t);
-    assert_eq!(
-        net.node(t).ldb().get("big").unwrap().sorted(),
-        vec![tup![2], tup![3]]
-    );
+    assert_eq!(net.node(t).ldb().get("big").unwrap().sorted(), vec![tup![2], tup![3]]);
 }
 
 #[test]
@@ -315,9 +309,7 @@ fn star_topology_fanout() {
     let mut s = String::new();
     s.push_str("node hub\nschema hub: all(int)\n");
     for i in 0..4 {
-        s.push_str(&format!(
-            "node leaf{i}\nschema leaf{i}: r(int)\ndata leaf{i}: r({i}).\n"
-        ));
+        s.push_str(&format!("node leaf{i}\nschema leaf{i}: r(int)\ndata leaf{i}: r({i}).\n"));
     }
     for i in 0..4 {
         s.push_str(&format!("rule s{i} @ leaf{i} -> hub: all(X) <- r(X).\n"));
@@ -362,8 +354,7 @@ fn diamond_deduplicates_via_both_paths() {
 #[test]
 fn superpeer_collects_stats_matching_direct_reads() {
     let config = NetworkConfig::parse(&chain_config(3, 4)).unwrap();
-    let mut net =
-        CoDbNetwork::build_with_superpeer(config, SimConfig::default()).unwrap();
+    let mut net = CoDbNetwork::build_with_superpeer(config, SimConfig::default()).unwrap();
     let origin = net.node_id("node0").unwrap();
     let outcome = net.run_update(origin);
     let direct = net.network_report();
@@ -401,16 +392,11 @@ fn superpeer_rebroadcast_rewires_topology() {
         data a: r(7).
         rule ac @ a -> c: r(X) <- r(X).
     "#;
-    let mut net = CoDbNetwork::build_with_superpeer(
-        NetworkConfig::parse(v1).unwrap(),
-        SimConfig::default(),
-    )
-    .unwrap();
-    let (a, b, c) = (
-        net.node_id("a").unwrap(),
-        net.node_id("b").unwrap(),
-        net.node_id("c").unwrap(),
-    );
+    let mut net =
+        CoDbNetwork::build_with_superpeer(NetworkConfig::parse(v1).unwrap(), SimConfig::default())
+            .unwrap();
+    let (a, b, c) =
+        (net.node_id("a").unwrap(), net.node_id("b").unwrap(), net.node_id("c").unwrap());
     net.run_update(a);
     assert_eq!(net.node(b).ldb().get("r").unwrap().len(), 1);
     assert_eq!(net.node(c).ldb().get("r").unwrap().len(), 0);
@@ -488,7 +474,12 @@ fn scoped_update_materialises_only_the_demanded_branch() {
         let mut net2 = build(FORKED);
         net2.run_update(hub)
     };
-    assert!(outcome.messages < full.messages, "scoped {} !< full {}", outcome.messages, full.messages);
+    assert!(
+        outcome.messages < full.messages,
+        "scoped {} !< full {}",
+        outcome.messages,
+        full.messages
+    );
 }
 
 #[test]
@@ -715,9 +706,7 @@ fn node_snapshot_restores_materialised_state() {
     assert!(net2.node(portal2).ldb().get("person").unwrap().is_empty());
     let snap = codb_relational::Snapshot::from_bytes(&bytes).unwrap();
     net2.sim_mut().peer_mut(portal2.peer()).unwrap().restore(snap);
-    let q = net2
-        .run_query_text(portal2, "ans(N) :- person(N, A).", false)
-        .unwrap();
+    let q = net2.run_query_text(portal2, "ans(N) :- person(N, A).", false).unwrap();
     assert_eq!(q.result.answers.len(), 2);
 }
 
@@ -779,8 +768,7 @@ fn incremental_update_ships_only_new_tuples() {
 fn non_incremental_mode_resends_but_stays_correct() {
     let config = codb_core::NetworkConfig::parse(&chain_config(3, 10)).unwrap();
     let settings = NodeSettings { incremental_updates: false, ..Default::default() };
-    let mut net =
-        CoDbNetwork::build_with(config, SimConfig::default(), settings, false).unwrap();
+    let mut net = CoDbNetwork::build_with(config, SimConfig::default(), settings, false).unwrap();
     let last = net.node_id("node2").unwrap();
     let first = net.run_update(last);
     let second = net.run_update(last);
@@ -813,11 +801,9 @@ fn stale_query_rule_gets_empty_answer_not_a_hang() {
         schema b: r(int)
         data a: r(1).
     "#;
-    let mut net = CoDbNetwork::build_with_superpeer(
-        NetworkConfig::parse(v1).unwrap(),
-        SimConfig::default(),
-    )
-    .unwrap();
+    let mut net =
+        CoDbNetwork::build_with_superpeer(NetworkConfig::parse(v1).unwrap(), SimConfig::default())
+            .unwrap();
     let b = net.node_id("b").unwrap();
     // Rewire away the rule *at the source only* by broadcasting v2... the
     // broadcast reaches everyone, so to create staleness we inject the
@@ -848,11 +834,7 @@ fn update_report_duration_fields_are_consistent() {
         assert!(r.started_at >= outcome.summary.started_at);
     }
     // Messages-by-kind account at least the data traffic.
-    let kinds: u64 = report
-        .nodes
-        .values()
-        .flat_map(|n| n.messages_sent.values())
-        .sum();
+    let kinds: u64 = report.nodes.values().flat_map(|n| n.messages_sent.values()).sum();
     assert!(kinds >= outcome.summary.data_messages);
 }
 
@@ -866,8 +848,7 @@ fn streaming_queries_deliver_first_answers_before_completion() {
         let id = net.node_id(&format!("node{i}")).unwrap();
         let node = net.sim_mut().peer_mut(id.peer()).unwrap();
         for t in 0..4 {
-            node.insert_local("r", codb_relational::tup![1000 + i as i64 * 10 + t])
-                .unwrap();
+            node.insert_local("r", codb_relational::tup![1000 + i as i64 * 10 + t]).unwrap();
         }
     }
     let last = net.node_id("node5").unwrap();
@@ -876,10 +857,7 @@ fn streaming_queries_deliver_first_answers_before_completion() {
     let rep = &net.node(last).report().queries[&q.query];
     let first = rep.first_answer_at.expect("streamed");
     let done = rep.finished_at.expect("finished");
-    assert!(
-        first < done,
-        "first instalment ({first:?}) must precede completion ({done:?})"
-    );
+    assert!(first < done, "first instalment ({first:?}) must precede completion ({done:?})");
     // Multiple instalments arrived on the single link.
     assert!(rep.answers_received > 1, "got {}", rep.answers_received);
 }

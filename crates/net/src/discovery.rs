@@ -58,8 +58,7 @@ impl Board {
 
     /// Publishes an advertisement (idempotent).
     pub fn publish(&mut self, ad: Advertisement) {
-        self.ads
-            .insert((ad.peer, ad.kind, ad.name.clone()), ad);
+        self.ads.insert((ad.peer, ad.kind, ad.name.clone()), ad);
         self.rebuild();
     }
 
@@ -76,10 +75,7 @@ impl Board {
 
     /// Advertisements matching a kind and name.
     pub fn find(&self, kind: AdKind, name: &str) -> Vec<&Advertisement> {
-        self.snapshot
-            .iter()
-            .filter(|a| a.kind == kind && a.name == name)
-            .collect()
+        self.snapshot.iter().filter(|a| a.kind == kind && a.name == name).collect()
     }
 
     fn rebuild(&mut self) {

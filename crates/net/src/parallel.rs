@@ -13,7 +13,7 @@ use crate::peer::{Command, Context, Payload, Peer, PeerId};
 use crate::time::SimTime;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::RwLock;
-use std::collections::{BinaryHeap, BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;

@@ -24,11 +24,7 @@ impl PipeConfig {
     /// A fast, reliable LAN-like pipe: 1 ms latency, infinite bandwidth,
     /// no loss.
     pub fn lan() -> Self {
-        PipeConfig {
-            latency: SimTime::from_millis(1),
-            bandwidth_bytes_per_sec: None,
-            loss: 0.0,
-        }
+        PipeConfig { latency: SimTime::from_millis(1), bandwidth_bytes_per_sec: None, loss: 0.0 }
     }
 
     /// A WAN-like pipe: 40 ms latency, 10 MB/s, no loss.

@@ -240,10 +240,7 @@ impl<M: Payload, P: Peer<M>> SimNet<M, P> {
                             if loss > 0.0 && self.rng.gen::<f64>() < loss {
                                 self.stats.record_dropped(origin, to);
                             } else {
-                                self.push(
-                                    arrival,
-                                    EventKind::Deliver { from: origin, to, msg },
-                                );
+                                self.push(arrival, EventKind::Deliver { from: origin, to, msg });
                             }
                         }
                     }
@@ -284,12 +281,7 @@ impl<M: Payload, P: Peer<M>> SimNet<M, P> {
                 if let Some(peer) = self.peers.get_mut(&to) {
                     self.stats.record_delivered(from, to);
                     if let Some(trace) = &mut self.trace {
-                        trace.push(TraceEntry {
-                            at: self.now,
-                            from,
-                            to,
-                            bytes: msg.size_bytes(),
-                        });
+                        trace.push(TraceEntry { at: self.now, from, to, bytes: msg.size_bytes() });
                     }
                     let mut ctx = Context::new(to, self.now, &snapshot);
                     peer.on_message(&mut ctx, from, msg);
@@ -414,7 +406,11 @@ mod tests {
         let mut net: SimNet<Ping, Relay> = SimNet::new(SimConfig::default());
         net.add_peer(PeerId(0), Relay { next: PeerId(1), received: vec![], start_with: Some(0) });
         net.add_peer(PeerId(1), Relay { next: PeerId(0), received: vec![], start_with: None });
-        net.open_pipe(PeerId(0), PeerId(1), PipeConfig::lan().with_latency(SimTime::from_millis(25)));
+        net.open_pipe(
+            PeerId(0),
+            PeerId(1),
+            PipeConfig::lan().with_latency(SimTime::from_millis(25)),
+        );
         let end = net.run_until_quiescent();
         assert_eq!(end, SimTime::from_millis(25));
     }
@@ -441,7 +437,11 @@ mod tests {
             n.open_pipe(
                 PeerId(0),
                 PeerId(1),
-                PipeConfig { latency: SimTime::ZERO, bandwidth_bytes_per_sec: Some(1000), loss: 0.0 },
+                PipeConfig {
+                    latency: SimTime::ZERO,
+                    bandwidth_bytes_per_sec: Some(1000),
+                    loss: 0.0,
+                },
             );
             n
         };
@@ -450,13 +450,8 @@ mod tests {
         assert_eq!(end, SimTime::from_secs(2));
         // Per direction, the second message waits for the first to finish
         // transmitting.
-        let forward: Vec<SimTime> = net
-            .trace()
-            .unwrap()
-            .iter()
-            .filter(|t| t.from == PeerId(0))
-            .map(|t| t.at)
-            .collect();
+        let forward: Vec<SimTime> =
+            net.trace().unwrap().iter().filter(|t| t.from == PeerId(0)).map(|t| t.at).collect();
         assert_eq!(forward, vec![SimTime::from_secs(1), SimTime::from_secs(2)]);
     }
 
@@ -586,8 +581,8 @@ mod tests {
 
 #[cfg(test)]
 mod more_tests {
-    use super::*;
     use super::tests_support::*;
+    use super::*;
 
     #[test]
     fn peer_joining_mid_run_participates() {

@@ -102,10 +102,7 @@ pub fn project(
     for &c in columns {
         check_col(rel, c)?;
     }
-    let cols = columns
-        .iter()
-        .map(|&c| rel.schema().columns[c].clone())
-        .collect::<Vec<_>>();
+    let cols = columns.iter().map(|&c| rel.schema().columns[c].clone()).collect::<Vec<_>>();
     let mut out = Relation::new(RelationSchema::new(name, cols));
     for t in rel.iter() {
         let values = columns.iter().map(|&c| t[c].clone()).collect::<Vec<_>>();
@@ -132,10 +129,7 @@ pub fn join(
     let mut cols = left.schema().columns.clone();
     for (i, c) in right.schema().columns.iter().enumerate() {
         if !right_join_cols.contains(&i) {
-            cols.push(Column::new(
-                format!("{}_{}", right.name(), c.name),
-                c.ty,
-            ));
+            cols.push(Column::new(format!("{}_{}", right.name(), c.name), c.ty));
         }
     }
     let mut out = Relation::new(RelationSchema::new(name, cols));
@@ -259,9 +253,8 @@ mod tests {
 
     #[test]
     fn select_where_arbitrary_predicate() {
-        let r = select_where(&emp(), "longnames", |t| {
-            matches!(&t[0], Value::Str(s) if s.len() > 3)
-        });
+        let r =
+            select_where(&emp(), "longnames", |t| matches!(&t[0], Value::Str(s) if s.len() > 3));
         assert_eq!(r.len(), 2);
         assert_eq!(r.name(), "longnames");
     }
@@ -300,16 +293,12 @@ mod tests {
 
     #[test]
     fn join_on_multiple_columns() {
-        let mut a = Relation::new(RelationSchema::with_types(
-            "a",
-            &[ValueType::Int, ValueType::Int],
-        ));
+        let mut a =
+            Relation::new(RelationSchema::with_types("a", &[ValueType::Int, ValueType::Int]));
         a.insert(tup![1, 2]).unwrap();
         a.insert(tup![1, 3]).unwrap();
-        let mut b = Relation::new(RelationSchema::with_types(
-            "b",
-            &[ValueType::Int, ValueType::Int],
-        ));
+        let mut b =
+            Relation::new(RelationSchema::with_types("b", &[ValueType::Int, ValueType::Int]));
         b.insert(tup![1, 2]).unwrap();
         let j = join(&a, &b, "j", &[(0, 0), (1, 1)]).unwrap();
         assert_eq!(j.len(), 1);

@@ -109,9 +109,7 @@ impl CmpOp {
             CmpOp::Eq => a == b,
             CmpOp::Ne => a != b,
             CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge => {
-                let comparable = !a.is_null()
-                    && !b.is_null()
-                    && a.value_type() == b.value_type();
+                let comparable = !a.is_null() && !b.is_null() && a.value_type() == b.value_type();
                 if !comparable {
                     return false;
                 }
@@ -233,13 +231,7 @@ impl ConjunctiveQuery {
     }
 
     fn check_var_names(&self) -> Result<(), CqError> {
-        let max = self
-            .head
-            .vars()
-            .into_iter()
-            .chain(self.body.atom_vars())
-            .map(|v| v.0)
-            .max();
+        let max = self.head.vars().into_iter().chain(self.body.atom_vars()).map(|v| v.0).max();
         if let Some(m) = max {
             if (m as usize) >= self.var_names.len() {
                 return Err(CqError::MissingVarName(Var(m)));
@@ -364,11 +356,8 @@ mod tests {
             vec![Atom::new("r", vec![v(0), v(1)])],
             vec![Comparison::new(Var(1), CmpOp::Gt, Value::Int(5))],
         );
-        let q = ConjunctiveQuery::new(
-            Atom::new("ans", vec![v(0)]),
-            body,
-            vec!["X".into(), "Y".into()],
-        );
+        let q =
+            ConjunctiveQuery::new(Atom::new("ans", vec![v(0)]), body, vec!["X".into(), "Y".into()]);
         assert!(q.is_ok());
         assert_eq!(q.unwrap().var_name(Var(1)), "Y");
     }
@@ -376,12 +365,8 @@ mod tests {
     #[test]
     fn unsafe_head_var_rejected() {
         let body = CqBody::new(vec![Atom::new("r", vec![v(0)])], vec![]);
-        let err = ConjunctiveQuery::new(
-            Atom::new("ans", vec![v(0), v(7)]),
-            body,
-            vec!["X".into()],
-        )
-        .unwrap_err();
+        let err = ConjunctiveQuery::new(Atom::new("ans", vec![v(0), v(7)]), body, vec!["X".into()])
+            .unwrap_err();
         assert_eq!(err, CqError::UnsafeHeadVar(Var(7)));
     }
 
@@ -397,9 +382,8 @@ mod tests {
     #[test]
     fn missing_var_name_rejected() {
         let body = CqBody::new(vec![Atom::new("r", vec![v(0), v(1)])], vec![]);
-        let err =
-            ConjunctiveQuery::new(Atom::new("ans", vec![v(0)]), body, vec!["X".into()])
-                .unwrap_err();
+        let err = ConjunctiveQuery::new(Atom::new("ans", vec![v(0)]), body, vec!["X".into()])
+            .unwrap_err();
         assert_eq!(err, CqError::MissingVarName(Var(1)));
     }
 
@@ -416,10 +400,8 @@ mod tests {
 
     #[test]
     fn body_relations_listed() {
-        let body = CqBody::new(
-            vec![Atom::new("r", vec![v(0)]), Atom::new("s", vec![v(0)])],
-            vec![],
-        );
+        let body =
+            CqBody::new(vec![Atom::new("r", vec![v(0)]), Atom::new("s", vec![v(0)])], vec![]);
         assert_eq!(body.relations(), ["r", "s"].into_iter().collect());
     }
 }

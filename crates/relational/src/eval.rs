@@ -85,12 +85,7 @@ fn check_atoms(body: &CqBody, inst: &Instance) -> Result<(), EvalError> {
 /// Tries to extend `bindings` so that `atom` matches `tuple`; rolls back and
 /// returns `false` on mismatch. On success, newly bound variables are pushed
 /// onto `trail` so the caller can undo them.
-fn match_atom(
-    atom: &Atom,
-    tuple: &Tuple,
-    bindings: &mut Bindings,
-    trail: &mut Vec<Var>,
-) -> bool {
+fn match_atom(atom: &Atom, tuple: &Tuple, bindings: &mut Bindings, trail: &mut Vec<Var>) -> bool {
     let start = trail.len();
     for (term, value) in atom.terms.iter().zip(tuple.values()) {
         let ok = match term {
@@ -350,19 +345,14 @@ fn evaluate_with_delta(
     let mut bindings: Bindings = vec![None; var_slots(body)];
     let mut trail: Vec<Var> = Vec::new();
     let mut results = Vec::new();
-    join(&mut steps, body, &mut bindings, &mut trail, &mut |b| {
-        results.push(b.clone())
-    });
+    join(&mut steps, body, &mut bindings, &mut trail, &mut |b| results.push(b.clone()));
     Ok(results)
 }
 
 /// Oracle evaluator: plain nested loops in textual atom order, no indexes,
 /// comparisons checked only at the end. Exponentially slower but obviously
 /// correct; property tests compare it against [`evaluate_body`].
-pub fn evaluate_body_reference(
-    body: &CqBody,
-    inst: &Instance,
-) -> Result<Vec<Bindings>, EvalError> {
+pub fn evaluate_body_reference(body: &CqBody, inst: &Instance) -> Result<Vec<Bindings>, EvalError> {
     check_atoms(body, inst)?;
     let slots = var_slots(body);
     let mut results = Vec::new();
@@ -420,9 +410,7 @@ pub fn project_atom(
         .iter()
         .map(|t| match t {
             Term::Const(c) => c.clone(),
-            Term::Var(v) => bindings[v.0 as usize]
-                .clone()
-                .unwrap_or_else(|| on_unbound(*v)),
+            Term::Var(v) => bindings[v.0 as usize].clone().unwrap_or_else(|| on_unbound(*v)),
         })
         .collect::<Vec<_>>();
     Tuple::new(values)
@@ -449,10 +437,7 @@ pub fn certain_answers(
     query: &crate::cq::ConjunctiveQuery,
     inst: &Instance,
 ) -> Result<Vec<Tuple>, EvalError> {
-    Ok(answer_query(query, inst)?
-        .into_iter()
-        .filter(|t| !t.has_null())
-        .collect())
+    Ok(answer_query(query, inst)?.into_iter().filter(|t| !t.has_null()).collect())
 }
 
 #[cfg(test)]
@@ -481,8 +466,7 @@ mod tests {
     }
 
     fn query(head: Atom, body: CqBody, names: &[&str]) -> ConjunctiveQuery {
-        ConjunctiveQuery::new(head, body, names.iter().map(|s| s.to_string()).collect())
-            .unwrap()
+        ConjunctiveQuery::new(head, body, names.iter().map(|s| s.to_string()).collect()).unwrap()
     }
 
     #[test]
@@ -542,10 +526,7 @@ mod tests {
             ),
             &["N", "A"],
         );
-        assert_eq!(
-            answer_query(&q, &db()).unwrap(),
-            vec![tup!["alice"], tup!["carol"]]
-        );
+        assert_eq!(answer_query(&q, &db()).unwrap(), vec![tup!["alice"], tup!["carol"]]);
     }
 
     #[test]
@@ -567,10 +548,7 @@ mod tests {
         let q = query(
             Atom::new("ans", vec![v(0), v(1)]),
             CqBody::new(
-                vec![
-                    Atom::new("p", vec![v(0), v(2)]),
-                    Atom::new("e", vec![v(1), v(3)]),
-                ],
+                vec![Atom::new("p", vec![v(0), v(2)]), Atom::new("e", vec![v(1), v(3)])],
                 vec![],
             ),
             &["N", "X", "A", "Y"],

@@ -57,13 +57,8 @@ impl GlavRule {
     ) -> Result<Self, CqError> {
         body.check_safe()?;
         let rule = GlavRule { name: name.into(), head, body, var_names };
-        let max = rule
-            .head
-            .iter()
-            .flat_map(Atom::vars)
-            .chain(rule.body.atom_vars())
-            .map(|v| v.0)
-            .max();
+        let max =
+            rule.head.iter().flat_map(Atom::vars).chain(rule.body.atom_vars()).map(|v| v.0).max();
         if let Some(m) = max {
             if (m as usize) >= rule.var_names.len() {
                 return Err(CqError::MissingVarName(Var(m)));
@@ -75,11 +70,7 @@ impl GlavRule {
     /// Head variables with no body occurrence — instantiated as fresh nulls.
     pub fn existential_vars(&self) -> BTreeSet<Var> {
         let bound = self.body.atom_vars();
-        self.head
-            .iter()
-            .flat_map(Atom::vars)
-            .filter(|v| !bound.contains(v))
-            .collect()
+        self.head.iter().flat_map(Atom::vars).filter(|v| !bound.contains(v)).collect()
     }
 
     /// True iff the rule has existential head variables (proper GLAV; rules
@@ -130,13 +121,9 @@ impl GlavRule {
                         .iter()
                         .map(|t| match t {
                             Term::Const(c) => TField::Const(c.clone()),
-                            Term::Var(v) if existentials.contains(v) => {
-                                TField::Fresh(v.0)
-                            }
+                            Term::Var(v) if existentials.contains(v) => TField::Fresh(v.0),
                             Term::Var(v) => TField::Const(
-                                b[v.0 as usize]
-                                    .clone()
-                                    .expect("body var bound by evaluation"),
+                                b[v.0 as usize].clone().expect("body var bound by evaluation"),
                             ),
                         })
                         .collect();
@@ -240,9 +227,7 @@ impl RuleFiring {
 
     /// True iff the firing carries no existential placeholder.
     pub fn is_ground(&self) -> bool {
-        self.atoms
-            .iter()
-            .all(|(_, fs)| fs.iter().all(|f| matches!(f, TField::Const(_))))
+        self.atoms.iter().all(|(_, fs)| fs.iter().all(|f| matches!(f, TField::Const(_))))
     }
 
     /// Approximate wire size in bytes (statistics accounting).
@@ -305,10 +290,7 @@ mod tests {
 
     fn src() -> Instance {
         let mut i = Instance::new();
-        i.add_relation(RelationSchema::with_types(
-            "emp",
-            &[ValueType::Str, ValueType::Int],
-        ));
+        i.add_relation(RelationSchema::with_types("emp", &[ValueType::Str, ValueType::Int]));
         i.insert("emp", tup!["alice", 30]).unwrap();
         i.insert("emp", tup!["bob", 17]).unwrap();
         i
@@ -332,10 +314,7 @@ mod tests {
         // person(N, D), dept(D) <- emp(N, A)   -- D existential, shared
         GlavRule::new(
             "r2",
-            vec![
-                Atom::new("person", vec![v(0), v(2)]),
-                Atom::new("dept", vec![v(2)]),
-            ],
+            vec![Atom::new("person", vec![v(0), v(2)]), Atom::new("dept", vec![v(2)])],
             CqBody::new(vec![Atom::new("emp", vec![v(0), v(1)])], vec![]),
             vec!["N".into(), "A".into(), "D".into()],
         )
@@ -414,19 +393,14 @@ mod tests {
         i.insert("emp", delta[0].clone()).unwrap();
         let firings = gav_rule().fire_delta(&i, "emp", &delta).unwrap();
         assert_eq!(firings.len(), 1);
-        assert_eq!(
-            firings[0].atoms[0].1[0],
-            TField::Const(Value::str("carol"))
-        );
+        assert_eq!(firings[0].atoms[0].1[0], TField::Const(Value::str("carol")));
     }
 
     #[test]
     fn apply_firings_returns_deltas_and_dedups() {
         let mut target = Instance::new();
-        target.add_relation(RelationSchema::with_types(
-            "person",
-            &[ValueType::Str, ValueType::Int],
-        ));
+        target
+            .add_relation(RelationSchema::with_types("person", &[ValueType::Str, ValueType::Int]));
         let firings = gav_rule().fire(&src()).unwrap();
         let mut nulls = NullFactory::new(2);
         let d1 = apply_firings(&mut target, &firings, &mut nulls).unwrap();

@@ -106,10 +106,7 @@ impl Instance {
     /// relations assumed). Used by soundness/completeness tests.
     pub fn subset_of(&self, other: &Instance) -> bool {
         self.relations.iter().all(|(name, rel)| {
-            rel.is_empty()
-                || other
-                    .get(name)
-                    .is_some_and(|o| rel.iter().all(|t| o.contains(t)))
+            rel.is_empty() || other.get(name).is_some_and(|o| rel.iter().all(|t| o.contains(t)))
         })
     }
 }

@@ -37,8 +37,8 @@ fn match_tuple(
             Value::Null(label) => match map.get(label) {
                 Some(mapped) => mapped == vb,
                 None => {
-                    let blocked = bijective
-                        && (!matches!(vb, Value::Null(_)) || used_targets.contains(vb));
+                    let blocked =
+                        bijective && (!matches!(vb, Value::Null(_)) || used_targets.contains(vb));
                     if blocked {
                         false
                     } else {

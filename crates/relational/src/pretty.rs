@@ -11,11 +11,7 @@ pub fn render_table(headers: &[&str], tuples: &[Tuple]) -> String {
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
     let rendered: Vec<Vec<String>> = tuples
         .iter()
-        .map(|t| {
-            (0..cols)
-                .map(|i| t.get(i).map_or(String::new(), |v| v.to_string()))
-                .collect()
-        })
+        .map(|t| (0..cols).map(|i| t.get(i).map_or(String::new(), |v| v.to_string())).collect())
         .collect();
     for row in &rendered {
         for (i, cell) in row.iter().enumerate() {

@@ -152,9 +152,8 @@ mod tests {
     fn insert_all_returns_delta_only() {
         let mut r = rel();
         r.insert(tup![1, "a"]).unwrap();
-        let delta = r
-            .insert_all(vec![tup![1, "a"], tup![2, "b"], tup![2, "b"], tup![3, "c"]])
-            .unwrap();
+        let delta =
+            r.insert_all(vec![tup![1, "a"], tup![2, "b"], tup![2, "b"], tup![3, "c"]]).unwrap();
         assert_eq!(delta, vec![tup![2, "b"], tup![3, "c"]]);
         assert_eq!(r.len(), 3);
     }

@@ -44,11 +44,8 @@ impl RelationSchema {
 
     /// Shorthand: all columns typed, names auto-generated (`c0`, `c1`, ...).
     pub fn with_types(name: impl Into<String>, types: &[ValueType]) -> Self {
-        let columns = types
-            .iter()
-            .enumerate()
-            .map(|(i, ty)| Column::new(format!("c{i}"), *ty))
-            .collect();
+        let columns =
+            types.iter().enumerate().map(|(i, ty)| Column::new(format!("c{i}"), *ty)).collect();
         RelationSchema::new(name, columns)
     }
 
@@ -166,14 +163,12 @@ pub enum SchemaError {
 impl fmt::Display for SchemaError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SchemaError::ArityMismatch { relation, expected, got } => write!(
-                f,
-                "relation {relation}: arity mismatch, expected {expected}, got {got}"
-            ),
-            SchemaError::TypeMismatch { relation, column, expected, got } => write!(
-                f,
-                "relation {relation}: column {column} expects {expected}, got {got}"
-            ),
+            SchemaError::ArityMismatch { relation, expected, got } => {
+                write!(f, "relation {relation}: arity mismatch, expected {expected}, got {got}")
+            }
+            SchemaError::TypeMismatch { relation, column, expected, got } => {
+                write!(f, "relation {relation}: column {column} expects {expected}, got {got}")
+            }
             SchemaError::UnknownRelation { relation } => {
                 write!(f, "unknown relation {relation}")
             }

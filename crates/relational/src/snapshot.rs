@@ -55,11 +55,7 @@ impl std::error::Error for SnapshotError {}
 impl Snapshot {
     /// Captures the given state.
     pub fn capture(instance: &Instance, nulls: &NullFactory) -> Self {
-        Snapshot {
-            version: SNAPSHOT_VERSION,
-            instance: instance.clone(),
-            nulls: nulls.clone(),
-        }
+        Snapshot { version: SNAPSHOT_VERSION, instance: instance.clone(), nulls: nulls.clone() }
     }
 
     /// Serialises to JSON bytes.
@@ -69,8 +65,8 @@ impl Snapshot {
 
     /// Restores from JSON bytes, checking the format version.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
-        let snap: Snapshot = serde_json::from_slice(bytes)
-            .map_err(|e| SnapshotError::Corrupt(e.to_string()))?;
+        let snap: Snapshot =
+            serde_json::from_slice(bytes).map_err(|e| SnapshotError::Corrupt(e.to_string()))?;
         if snap.version != SNAPSHOT_VERSION {
             return Err(SnapshotError::VersionMismatch {
                 found: snap.version,
@@ -95,10 +91,7 @@ mod tests {
         inst.insert("r", tup![1, "a"]).unwrap();
         let mut nulls = NullFactory::new(7);
         let n = nulls.fresh();
-        inst.get_mut("r")
-            .unwrap()
-            .insert(Tuple::new(vec![Value::Int(2), Value::Null(n)]))
-            .unwrap();
+        inst.get_mut("r").unwrap().insert(Tuple::new(vec![Value::Int(2), Value::Null(n)])).unwrap();
         (inst, nulls)
     }
 
@@ -130,10 +123,7 @@ mod tests {
 
     #[test]
     fn corrupt_payload_is_rejected() {
-        assert!(matches!(
-            Snapshot::from_bytes(b"not json"),
-            Err(SnapshotError::Corrupt(_))
-        ));
+        assert!(matches!(Snapshot::from_bytes(b"not json"), Err(SnapshotError::Corrupt(_))));
     }
 
     #[test]

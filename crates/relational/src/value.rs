@@ -232,12 +232,14 @@ mod tests {
 
     #[test]
     fn value_ordering_is_total() {
-        let mut vs = [Value::str("b"),
+        let mut vs = [
+            Value::str("b"),
             Value::Int(2),
             Value::Bool(false),
             Value::Null(NullId::new(0, 1)),
             Value::Int(-5),
-            Value::str("a")];
+            Value::str("a"),
+        ];
         vs.sort();
         // Int < Str < Bool < Null per variant declaration order.
         assert_eq!(vs[0], Value::Int(-5));

@@ -143,10 +143,8 @@ mod tests {
     fn zipf_skews_towards_low_ranks() {
         let d = DataDist::Zipf { domain: 1000, exponent_x100: 110 };
         let ts = generate(7, 3000, d);
-        let low = ts
-            .iter()
-            .filter(|t| matches!(t[0], codb_relational::Value::Int(k) if k < 10))
-            .count();
+        let low =
+            ts.iter().filter(|t| matches!(t[0], codb_relational::Value::Int(k) if k < 10)).count();
         // With s=1.1 over 1000 values, the top-10 ranks carry a large share.
         assert!(low > 1000, "zipf skew expected, got {low}/3000 low keys");
     }

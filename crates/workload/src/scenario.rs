@@ -90,10 +90,7 @@ impl Scenario {
                 CqBody::new(
                     vec![
                         body_atom,
-                        Atom::new(
-                            Self::aux_relation_of(src),
-                            vec![y, Term::Var(Var(2))],
-                        ),
+                        Atom::new(Self::aux_relation_of(src), vec![y, Term::Var(Var(2))]),
                     ],
                     vec![],
                 ),
@@ -131,10 +128,8 @@ impl Scenario {
         let mut nodes = Vec::with_capacity(n);
         for i in 0..n {
             let rel = Self::relation_of(i);
-            let mut schema = DatabaseSchema::new().with(RelationSchema::with_types(
-                &rel,
-                &[ValueType::Int, ValueType::Int],
-            ));
+            let mut schema = DatabaseSchema::new()
+                .with(RelationSchema::with_types(&rel, &[ValueType::Int, ValueType::Int]));
             let node_seed = self.seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9);
             let mut data: Vec<(String, codb_relational::Tuple)> = match self.rule_style {
                 RuleStyle::JoinGav { join_domain } => {
@@ -161,10 +156,7 @@ impl Scenario {
             };
             if let RuleStyle::JoinGav { join_domain } = self.rule_style {
                 let aux = Self::aux_relation_of(i);
-                schema.add(RelationSchema::with_types(
-                    &aux,
-                    &[ValueType::Int, ValueType::Int],
-                ));
+                schema.add(RelationSchema::with_types(&aux, &[ValueType::Int, ValueType::Int]));
                 // s{i}: one row per join key, mapping it to a value.
                 for k in 0..join_domain.max(1) as i64 {
                     data.push((
@@ -176,12 +168,7 @@ impl Scenario {
                     ));
                 }
             }
-            nodes.push(NodeConfig {
-                id: NodeId(i as u64),
-                name: format!("node{i}"),
-                schema,
-                data,
-            });
+            nodes.push(NodeConfig { id: NodeId(i as u64), name: format!("node{i}"), schema, data });
         }
         let rules = self
             .topology
@@ -242,20 +229,15 @@ mod tests {
 
     #[test]
     fn glav_rules_have_existentials() {
-        let s = Scenario {
-            rule_style: RuleStyle::ProjectGlav,
-            ..Scenario::quick(Topology::Chain(2))
-        };
+        let s =
+            Scenario { rule_style: RuleStyle::ProjectGlav, ..Scenario::quick(Topology::Chain(2)) };
         let c = s.build_config();
         assert!(c.rules[0].rule.has_existentials());
     }
 
     #[test]
     fn chain_scenario_runs_end_to_end() {
-        let s = Scenario {
-            tuples_per_node: 10,
-            ..Scenario::quick(Topology::Chain(3))
-        };
+        let s = Scenario { tuples_per_node: 10, ..Scenario::quick(Topology::Chain(3)) };
         let mut net = CoDbNetwork::build(s.build_config(), SimConfig::default()).unwrap();
         let outcome = net.run_update(s.sink());
         // The sink accumulates all upstream tuples (dedup may collapse a
@@ -268,29 +250,19 @@ mod tests {
 
     #[test]
     fn ring_scenario_reaches_fixpoint() {
-        let s = Scenario {
-            tuples_per_node: 5,
-            ..Scenario::quick(Topology::Ring(3))
-        };
+        let s = Scenario { tuples_per_node: 5, ..Scenario::quick(Topology::Ring(3)) };
         let mut net = CoDbNetwork::build(s.build_config(), SimConfig::default()).unwrap();
         net.run_update(s.sink());
         // Every node ends with all 15 tuples (copied around the ring).
         for i in 0..3 {
             let rel = Scenario::relation_of(i);
-            assert_eq!(
-                net.node(NodeId(i as u64)).ldb().get(&rel).unwrap().len(),
-                15,
-                "node {i}"
-            );
+            assert_eq!(net.node(NodeId(i as u64)).ldb().get(&rel).unwrap().len(), 15, "node {i}");
         }
     }
 
     #[test]
     fn sink_query_parses_and_answers() {
-        let s = Scenario {
-            tuples_per_node: 8,
-            ..Scenario::quick(Topology::Star { leaves: 3 })
-        };
+        let s = Scenario { tuples_per_node: 8, ..Scenario::quick(Topology::Star { leaves: 3 }) };
         let mut net = CoDbNetwork::build(s.build_config(), SimConfig::default()).unwrap();
         let q = net.run_query(s.sink(), s.sink_query(), true);
         // Hub's own 8 tuples + 8 from each of the 3 leaves.
@@ -315,11 +287,8 @@ mod join_tests {
         assert!(c.validate().is_ok());
         for (i, node) in c.nodes.iter().enumerate() {
             assert!(node.schema.contains(&Scenario::aux_relation_of(i)));
-            let aux_rows = node
-                .data
-                .iter()
-                .filter(|(r, _)| r == &Scenario::aux_relation_of(i))
-                .count();
+            let aux_rows =
+                node.data.iter().filter(|(r, _)| r == &Scenario::aux_relation_of(i)).count();
             assert_eq!(aux_rows, 8);
         }
         assert_eq!(c.rules[0].rule.body.atoms.len(), 2, "join body");
@@ -338,7 +307,8 @@ mod join_tests {
         // join domain), so 10 joined tuples land in r1.
         assert_eq!(outcome.summary.tuples_added, 10);
         let r1 = net.node(s.sink()).ldb().get("r1").unwrap();
-        assert_eq!(r1.len(), 10 + 10); // own 10 + 10 imported
+        // r1 holds its own 10 tuples plus the 10 imported ones.
+        assert_eq!(r1.len(), 10 + 10);
         // Joined values are from s0's value space (k*1000 + node_index 0).
         let imported = r1
             .iter()
@@ -381,10 +351,7 @@ mod zipf_tests {
             dist: DataDist::Uniform { domain: 1 << 40 },
             seed: 77,
         };
-        let zipf = Scenario {
-            dist: DataDist::Zipf { domain: 40, exponent_x100: 120 },
-            ..uniform
-        };
+        let zipf = Scenario { dist: DataDist::Zipf { domain: 40, exponent_x100: 120 }, ..uniform };
         let run = |s: &Scenario| {
             let mut net = CoDbNetwork::build(s.build_config(), SimConfig::default()).unwrap();
             let o = net.run_update(s.sink());

@@ -27,9 +27,8 @@ fn main() {
     let n = 5;
     // Phase 1: a chain 0 → 1 → 2 → 3 → 4.
     let chain: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
-    let mut net =
-        CoDbNetwork::build_with_superpeer(config_v(1, &chain, n), SimConfig::default())
-            .expect("builds");
+    let mut net = CoDbNetwork::build_with_superpeer(config_v(1, &chain, n), SimConfig::default())
+        .expect("builds");
 
     let n0 = net.node_id("n0").unwrap();
     let n4 = net.node_id("n4").unwrap();
@@ -56,8 +55,7 @@ fn main() {
     let second = net.run_update(n4);
     println!(
         "star update: {} in {} — longest path {} (was {} on the chain)",
-        second.update, second.duration, second.summary.longest_path,
-        first.summary.longest_path
+        second.update, second.duration, second.summary.longest_path, first.summary.longest_path
     );
 
     // Final statistical report, collected over the network.

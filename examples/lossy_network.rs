@@ -17,8 +17,7 @@ fn main() {
     };
 
     // Reference run on perfect pipes.
-    let mut clean =
-        CoDbNetwork::build(scenario.build_config(), SimConfig::default()).unwrap();
+    let mut clean = CoDbNetwork::build(scenario.build_config(), SimConfig::default()).unwrap();
     let reference = clean.run_update(scenario.sink());
 
     println!(
@@ -30,11 +29,8 @@ fn main() {
     for loss in [0.0, 0.05, 0.10, 0.20, 0.30] {
         let pipe = PipeConfig::lan().with_loss(loss);
         let sim = SimConfig { seed: 7, default_pipe: pipe, max_events: 10_000_000 };
-        let settings = NodeSettings {
-            retransmit_after: SimTime::from_millis(25),
-            pipe,
-            ..Default::default()
-        };
+        let settings =
+            NodeSettings { retransmit_after: SimTime::from_millis(25), pipe, ..Default::default() };
         let mut net =
             CoDbNetwork::build_with(scenario.build_config(), sim, settings, false).unwrap();
         let outcome = net.run_update(scenario.sink());

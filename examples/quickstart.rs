@@ -38,9 +38,7 @@ fn main() {
 
     // 1. Query-time answering: the portal fetches from HR on demand,
     //    materialising nothing.
-    let q = net
-        .run_query_text(portal, "ans(N, A) :- person(N, A).", true)
-        .unwrap();
+    let q = net.run_query_text(portal, "ans(N, A) :- person(N, A).", true).unwrap();
     println!(
         "query-time answering: {} answers in {} using {} messages",
         q.result.answers.len(),
@@ -56,16 +54,17 @@ fn main() {
     let outcome = net.run_update(portal);
     println!(
         "\nglobal update {}: {} tuples materialised in {} ({} messages, {} bytes)",
-        outcome.update, outcome.summary.tuples_added, outcome.duration, outcome.messages,
+        outcome.update,
+        outcome.summary.tuples_added,
+        outcome.duration,
+        outcome.messages,
         outcome.bytes
     );
     println!("\n== after the update: the portal holds the adults locally ==");
     println!("{}", render_relation(net.node(portal).ldb().get("person").unwrap()));
 
     // 3. Local queries are now free of network traffic.
-    let local = net
-        .run_query_text(portal, "ans(N) :- person(N, A), A >= 40.", false)
-        .unwrap();
+    let local = net.run_query_text(portal, "ans(N) :- person(N, A), A >= 40.", false).unwrap();
     println!(
         "local query after materialisation: {:?} ({} messages)",
         local.result.answers, local.messages

@@ -36,11 +36,8 @@ fn main() {
     // Scoped update: demand `eu` — the demand propagates transitively
     // (dashboard → archive_eu → sensors_eu) and leaves the US branch
     // untouched.
-    let mut net = CoDbNetwork::build(
-        NetworkConfig::parse(CONFIG).unwrap(),
-        SimConfig::default(),
-    )
-    .unwrap();
+    let mut net =
+        CoDbNetwork::build(NetworkConfig::parse(CONFIG).unwrap(), SimConfig::default()).unwrap();
     let dashboard = net.node_id("dashboard").unwrap();
 
     let scoped = net.run_scoped_update(dashboard, vec!["eu".to_owned()]);
@@ -61,24 +58,16 @@ fn main() {
     );
 
     // Compare with the full global update on a fresh network.
-    let mut full_net = CoDbNetwork::build(
-        NetworkConfig::parse(CONFIG).unwrap(),
-        SimConfig::default(),
-    )
-    .unwrap();
+    let mut full_net =
+        CoDbNetwork::build(NetworkConfig::parse(CONFIG).unwrap(), SimConfig::default()).unwrap();
     let full = full_net.run_update(dashboard);
     println!(
         "\nglobal update:              {} tuples, {} messages, {} bytes",
         full.summary.tuples_added, full.messages, full.bytes
     );
-    println!(
-        "scoped/global message ratio: {:.2}",
-        scoped.messages as f64 / full.messages as f64
-    );
+    println!("scoped/global message ratio: {:.2}", scoped.messages as f64 / full.messages as f64);
 
     // The scoped slice answers the scoping query locally afterwards.
-    let q = net
-        .run_query_text(dashboard, "ans(S, V) :- eu(S, V), V >= 20.", false)
-        .unwrap();
+    let q = net.run_query_text(dashboard, "ans(S, V) :- eu(S, V), V >= 20.", false).unwrap();
     println!("\nwarm EU cities (local query, {} messages): {:?}", q.messages, q.result.answers);
 }

@@ -56,13 +56,9 @@ const CONFIG: &str = r#"
 
 fn main() {
     let config = NetworkConfig::parse(CONFIG).expect("valid configuration");
-    println!(
-        "rule graph cyclic: {}",
-        codb::core::rule_graph_is_cyclic(&config.rules)
-    );
+    println!("rule graph cyclic: {}", codb::core::rule_graph_is_cyclic(&config.rules));
 
-    let mut net =
-        CoDbNetwork::build_with_superpeer(config, SimConfig::default()).expect("builds");
+    let mut net = CoDbNetwork::build_with_superpeer(config, SimConfig::default()).expect("builds");
     let portal = net.node_id("portal").unwrap();
     let bolzano = net.node_id("bolzano").unwrap();
     let manchester = net.node_id("manchester").unwrap();
@@ -71,7 +67,9 @@ fn main() {
     let outcome = net.run_update(portal);
     println!(
         "update {} finished in {} — {} tuples materialised, longest path {}",
-        outcome.update, outcome.duration, outcome.summary.tuples_added,
+        outcome.update,
+        outcome.duration,
+        outcome.summary.tuples_added,
         outcome.summary.longest_path
     );
 
@@ -81,16 +79,11 @@ fn main() {
 
     println!("== cyclic exchange reached its fixpoint ==");
     println!("{}", render_relation(net.node(bolzano).ldb().get("visiting").unwrap()));
-    println!(
-        "{}",
-        render_relation(net.node(manchester).ldb().get("hosted").unwrap())
-    );
+    println!("{}", render_relation(net.node(manchester).ldb().get("hosted").unwrap()));
 
     // Certain answers: people whose affiliation is *known* — none, since
     // all affiliations are invented nulls; every answer is merely possible.
-    let q = net
-        .run_query_text(portal, "ans(N, F) :- person(N, F).", false)
-        .unwrap();
+    let q = net.run_query_text(portal, "ans(N, F) :- person(N, F).", false).unwrap();
     println!(
         "person query: {} possible answers, {} certain",
         q.result.answers.len(),
@@ -104,10 +97,7 @@ fn main() {
         "\nsuper-peer report: {} nodes, {} data messages, {} bytes, total time {}",
         summary.nodes, summary.data_messages, summary.data_bytes, summary.total_time
     );
-    println!(
-        "report as JSON (excerpt): {:.120}…",
-        serde_json_string(&summary)
-    );
+    println!("report as JSON (excerpt): {:.120}…", serde_json_string(&summary));
 }
 
 fn serde_json_string<T: serde::Serialize>(t: &T) -> String {

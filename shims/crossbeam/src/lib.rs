@@ -1,0 +1,34 @@
+//! Vendored minimal stand-in for `crossbeam`, mapping the
+//! `crossbeam::channel` unbounded-channel API onto `std::sync::mpsc`.
+//! Sufficient for single-consumer channels (each receiver is owned by one
+//! thread), which is how this workspace uses them.
+
+/// MPMC-ish channels (here: std mpsc, single consumer).
+pub mod channel {
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    /// The sending half of an unbounded channel (clonable).
+    pub type Sender<T> = std::sync::mpsc::Sender<T>;
+
+    /// The receiving half of an unbounded channel.
+    pub type Receiver<T> = std::sync::mpsc::Receiver<T>;
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::unbounded;
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_and_timeout() {
+        let (tx, rx) = unbounded();
+        tx.send(5).unwrap();
+        assert_eq!(rx.recv().unwrap(), 5);
+        assert!(rx.recv_timeout(Duration::from_millis(1)).is_err());
+    }
+}

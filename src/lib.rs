@@ -58,14 +58,14 @@ pub use codb_workload as workload;
 /// The common imports for using coDB as a library.
 pub mod prelude {
     pub use codb_core::{
-        Body, CoDbNetwork, CoDbNode, ConfigError, CoordinationRule, NetworkConfig,
-        NetworkReport, NodeConfig, NodeId, NodeSettings, QueryOutcome, QueryResult,
-        UpdateId, UpdateOutcome, UpdateSummary,
+        Body, CoDbNetwork, CoDbNode, ConfigError, CoordinationRule, NetworkConfig, NetworkReport,
+        NodeConfig, NodeId, NodeSettings, QueryOutcome, QueryResult, UpdateId, UpdateOutcome,
+        UpdateSummary,
     };
     pub use codb_net::{PipeConfig, SimConfig, SimTime};
     pub use codb_relational::{
-        parse_facts, parse_query, parse_rule, ConjunctiveQuery, DatabaseSchema, GlavRule,
-        Instance, Relation, RelationSchema, Tuple, Value, ValueType,
+        parse_facts, parse_query, parse_rule, ConjunctiveQuery, DatabaseSchema, GlavRule, Instance,
+        Relation, RelationSchema, Tuple, Value, ValueType,
     };
     pub use codb_workload::{DataDist, RuleStyle, Scenario, Topology};
 }

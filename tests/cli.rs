@@ -70,10 +70,8 @@ fn demo() -> Command {
 #[test]
 fn update_then_show_prints_materialised_data() {
     let config = write_config();
-    let out = demo()
-        .args([config.as_str(), "update", "portal", "show", "portal"])
-        .output()
-        .unwrap();
+    let out =
+        demo().args([config.as_str(), "update", "portal", "show", "portal"]).output().unwrap();
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("1 tuples"), "one adult materialised:\n{stdout}");
@@ -110,10 +108,7 @@ fn scoped_update_command_works() {
 #[test]
 fn stats_emits_json() {
     let config = write_config();
-    let out = demo()
-        .args([config.as_str(), "update", "portal", "stats"])
-        .output()
-        .unwrap();
+    let out = demo().args([config.as_str(), "update", "portal", "stats"]).output().unwrap();
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     let json_start = stdout.find('{').expect("json present");
@@ -135,9 +130,7 @@ fn bad_inputs_fail_cleanly() {
     let out = demo().args([config.as_str(), "update", "nope"]).output().unwrap();
     assert!(!out.status.success());
     // Bad query.
-    let out = demo()
-        .args([config.as_str(), "query", "portal", "ans(X) :- nope((("])
-        .output()
-        .unwrap();
+    let out =
+        demo().args([config.as_str(), "query", "portal", "ans(X) :- nope((("]).output().unwrap();
     assert!(!out.status.success());
 }

@@ -3,23 +3,17 @@
 //! timing, and the relational engine must agree with its reference
 //! evaluator.
 
-use codb::prelude::*;
 use codb::core::NodeId;
-use codb::relational::{
-    apply_firings, evaluate_body, GlavRule, Instance, NullFactory, RuleFiring,
-};
+use codb::prelude::*;
 use codb::relational::eval::evaluate_body_reference;
+use codb::relational::{apply_firings, evaluate_body, GlavRule, Instance, NullFactory, RuleFiring};
 use proptest::prelude::*;
 use std::collections::{BTreeMap, BTreeSet};
-
 
 /// Case count honouring the `PROPTEST_CASES` env var (for soak runs)
 /// with a CI-friendly default.
 fn cases(default: u32) -> u32 {
-    std::env::var("PROPTEST_CASES")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 
 // ---------------------------------------------------------------------
@@ -49,12 +43,7 @@ fn central_chase(config: &NetworkConfig, max_rounds: usize) -> BTreeMap<NodeId, 
                 .fire(&instances[&rule.source])
                 .unwrap()
                 .into_iter()
-                .filter(|f| {
-                    fired
-                        .entry(rule.name().to_owned())
-                        .or_default()
-                        .insert(f.clone())
-                })
+                .filter(|f| fired.entry(rule.name().to_owned()).or_default().insert(f.clone()))
                 .collect();
             if firings.is_empty() {
                 continue;
@@ -82,13 +71,7 @@ fn canonical(inst: &Instance) -> BTreeMap<String, BTreeSet<Vec<String>>> {
                 .iter()
                 .map(|t| {
                     t.values()
-                        .map(|v| {
-                            if v.is_null() {
-                                "_".to_owned()
-                            } else {
-                                v.to_string()
-                            }
-                        })
+                        .map(|v| if v.is_null() { "_".to_owned() } else { v.to_string() })
                         .collect::<Vec<_>>()
                 })
                 .collect();
@@ -97,14 +80,14 @@ fn canonical(inst: &Instance) -> BTreeMap<String, BTreeSet<Vec<String>>> {
         .collect()
 }
 
-fn run_distributed(config: &NetworkConfig, sim: SimConfig, origin: NodeId) -> BTreeMap<NodeId, Instance> {
+fn run_distributed(
+    config: &NetworkConfig,
+    sim: SimConfig,
+    origin: NodeId,
+) -> BTreeMap<NodeId, Instance> {
     let mut net = CoDbNetwork::build(config.clone(), sim).unwrap();
     net.run_update(origin);
-    config
-        .nodes
-        .iter()
-        .map(|n| (n.id, net.node(n.id).ldb().clone()))
-        .collect()
+    config.nodes.iter().map(|n| (n.id, net.node(n.id).ldb().clone())).collect()
 }
 
 fn arb_topology() -> impl Strategy<Value = Topology> {
@@ -114,8 +97,11 @@ fn arb_topology() -> impl Strategy<Value = Topology> {
         (1usize..5).prop_map(|leaves| Topology::Star { leaves }),
         (1usize..3).prop_map(|height| Topology::Tree { height }),
         ((2usize..4), (2usize..3)).prop_map(|(w, h)| Topology::Grid { w, h }),
-        ((3usize..7), (0u8..60), any::<u64>())
-            .prop_map(|(n, p, seed)| Topology::RandomDag { n, p_percent: p, seed }),
+        ((3usize..7), (0u8..60), any::<u64>()).prop_map(|(n, p, seed)| Topology::RandomDag {
+            n,
+            p_percent: p,
+            seed
+        }),
         (2usize..4).prop_map(Topology::Clique),
     ]
 }
@@ -330,15 +316,20 @@ mod relational_props {
     fn arb_body() -> impl Strategy<Value = CqBody> {
         let atom = (prop_oneof![Just("e"), Just("f")], arb_term(4), arb_term(4))
             .prop_map(|(r, t1, t2)| Atom::new(r, vec![t1, t2]));
-        let cmp = (arb_term(4), arb_term(4), prop_oneof![
-            Just(CmpOp::Eq), Just(CmpOp::Ne), Just(CmpOp::Lt), Just(CmpOp::Le),
-            Just(CmpOp::Gt), Just(CmpOp::Ge),
-        ])
-            .prop_map(|(l, r, op)| Comparison { lhs: l, op, rhs: r });
-        (
-            proptest::collection::vec(atom, 1..4),
-            proptest::collection::vec(cmp, 0..3),
+        let cmp = (
+            arb_term(4),
+            arb_term(4),
+            prop_oneof![
+                Just(CmpOp::Eq),
+                Just(CmpOp::Ne),
+                Just(CmpOp::Lt),
+                Just(CmpOp::Le),
+                Just(CmpOp::Gt),
+                Just(CmpOp::Ge),
+            ],
         )
+            .prop_map(|(l, r, op)| Comparison { lhs: l, op, rhs: r });
+        (proptest::collection::vec(atom, 1..4), proptest::collection::vec(cmp, 0..3))
             .prop_map(|(atoms, comparisons)| CqBody::new(atoms, comparisons))
             .prop_filter("range-restricted", |b| b.check_safe().is_ok())
     }
@@ -448,10 +439,8 @@ mod algebra_props {
     };
 
     fn rel_from(pairs: &[(i64, i64)], name: &str) -> Relation {
-        let mut r = Relation::new(RelationSchema::with_types(
-            name,
-            &[ValueType::Int, ValueType::Int],
-        ));
+        let mut r =
+            Relation::new(RelationSchema::with_types(name, &[ValueType::Int, ValueType::Int]));
         for (a, b) in pairs {
             r.insert(Tuple::new(vec![Value::Int(*a), Value::Int(*b)])).unwrap();
         }

@@ -52,9 +52,7 @@ fn node_queried_in_its_own_schema_fetches_from_neighbours() {
     let shop = net.node_id("shop").unwrap();
     // The shop's schema knows nothing about quantities; its query is in
     // its own vocabulary.
-    let q = net
-        .run_query_text(shop, "ans(N) :- available(N).", true)
-        .unwrap();
+    let q = net.run_query_text(shop, "ans(N) :- available(N).", true).unwrap();
     assert_eq!(q.result.answers, vec![codb::relational::tup!["mug"]]);
     // Nothing was materialised by the query.
     assert!(net.node(shop).ldb().get("available").unwrap().is_empty());
@@ -109,9 +107,7 @@ fn after_batch_update_queries_are_local_everywhere() {
     for i in 0..scenario.topology.node_count() {
         let id = codb::core::NodeId(i as u64);
         let rel = Scenario::relation_of(i);
-        let q = net
-            .run_query_text(id, &format!("ans(X, Y) :- {rel}(X, Y)."), false)
-            .unwrap();
+        let q = net.run_query_text(id, &format!("ans(X, Y) :- {rel}(X, Y)."), false).unwrap();
         assert_eq!(q.messages, 0, "node {i} answers locally");
         assert!(!q.result.answers.is_empty());
     }
@@ -139,9 +135,7 @@ fn conflicting_sources_coexist_without_breaking_anyone() {
     let sink = net.node_id("sink").unwrap();
     let outcome = net.run_update(sink);
     assert_eq!(outcome.summary.tuples_added, 2);
-    let q = net
-        .run_query_text(sink, r#"ans(V) :- fact("pi", V)."#, false)
-        .unwrap();
+    let q = net.run_query_text(sink, r#"ans(V) :- fact("pi", V)."#, false).unwrap();
     assert_eq!(q.result.answers.len(), 2, "both claims coexist");
 }
 
@@ -185,8 +179,7 @@ fn superpeer_report_has_the_demo_fields() {
         seed: 8,
     };
     let mut net =
-        CoDbNetwork::build_with_superpeer(scenario.build_config(), SimConfig::default())
-            .unwrap();
+        CoDbNetwork::build_with_superpeer(scenario.build_config(), SimConfig::default()).unwrap();
     let outcome = net.run_update(codb::core::NodeId(0));
     let report = net.collect_stats();
     let summary = report.summarise(outcome.update).unwrap();

@@ -194,8 +194,7 @@ fn rebroadcast_mid_flight_update_still_terminates() {
     };
     let mut config = scenario.build_config();
     config.version = 1;
-    let mut net =
-        CoDbNetwork::build_with_superpeer(config.clone(), SimConfig::default()).unwrap();
+    let mut net = CoDbNetwork::build_with_superpeer(config.clone(), SimConfig::default()).unwrap();
 
     // Kick off the update but do NOT run to quiescence.
     net.sim_mut().inject(
@@ -213,10 +212,9 @@ fn rebroadcast_mid_flight_update_still_terminates() {
     let mut v2 = config.clone();
     v2.rules = (0..4u64)
         .map(|i| {
-            let rule = codb::relational::parse_rule(&format!(
-                "rule star{i}: r4(X, Y) <- r{i}(X, Y)."
-            ))
-            .unwrap();
+            let rule =
+                codb::relational::parse_rule(&format!("rule star{i}: r4(X, Y) <- r{i}(X, Y)."))
+                    .unwrap();
             codb::core::CoordinationRule {
                 rule,
                 source: codb::core::NodeId(i),
