@@ -1,0 +1,56 @@
+//! Criterion bench for experiment e17: durable-store recovery — WAL
+//! replay throughput as a function of the un-compacted log length.
+
+use codb_relational::glav::TField;
+use codb_relational::{
+    apply_firings, Instance, NullFactory, RelationSchema, RuleFiring, Snapshot, Value, ValueType,
+};
+use codb_store::{RecvCaches, ScratchDir, Store, SyncPolicy, WalRecord};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+/// Builds a store whose WAL tail holds `batches` applied batches (no
+/// checkpoints, so recovery replays all of them).
+fn build_store(batches: u64) -> ScratchDir {
+    let dir = ScratchDir::new("bench-e17");
+    let mut inst = Instance::new();
+    inst.add_relation(RelationSchema::with_types("r", &[ValueType::Int, ValueType::Int]));
+    let mut nulls = NullFactory::new(1);
+    let mut recv = RecvCaches::new();
+    let mut store =
+        Store::create(dir.path(), &Snapshot::capture(&inst, &nulls), &recv, SyncPolicy::Never)
+            .unwrap();
+    for b in 0..batches {
+        let firings = vec![RuleFiring {
+            atoms: vec![(
+                "r".to_owned(),
+                vec![TField::Const(Value::Int(b as i64)), TField::Fresh(0)],
+            )],
+        }];
+        let cache = recv.entry("e".to_owned()).or_default();
+        let fresh: Vec<RuleFiring> =
+            firings.into_iter().filter(|f| cache.insert(f.clone())).collect();
+        store.append(&WalRecord::Applied { rule: "e".to_owned(), firings: fresh.clone() }).unwrap();
+        apply_firings(&mut inst, &fresh, &mut nulls).unwrap();
+    }
+    store.sync().unwrap();
+    dir
+}
+
+/// E17: store recovery (snapshot load + WAL replay) vs log length.
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e17_recovery");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for batches in [100u64, 1000] {
+        let dir = build_store(batches);
+        g.bench_with_input(BenchmarkId::from_parameter(batches), &dir, |b, dir| {
+            b.iter(|| Store::open(dir.path(), SyncPolicy::Never).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,11 +1,15 @@
 //! Experiment runner: prints the tables of DESIGN.md §4.
 //!
-//! Usage: `cargo run -p codb-bench --release --bin exp -- [e1 … e16 | all]`
+//! Usage: `cargo run -p codb-bench --release --bin exp -- [e1 … e17 | all]`
 //!
 //! Extra modes:
 //! * `exp --quick` — a seconds-scale smoke run of the full harness
 //!   (update + query on small topologies), for CI.
 //! * `exp timeline [chain|ring|grid]` — render an update Gantt chart.
+//! * `exp --json PATH …` — additionally write the selected experiments'
+//!   tables (title, headers, rows) as JSON to PATH; the human-readable
+//!   tables are printed unchanged. Combines with ids, `all` and
+//!   `--quick`.
 
 use codb_bench::{all, by_id, Table};
 
@@ -28,7 +32,7 @@ fn timeline(kind: &str) {
 /// `exp --quick` — one cheap end-to-end pass per topology family, so CI
 /// exercises the bench harness (scenario build, update, query, reporting)
 /// without paying for the full experiment suite.
-fn quick() {
+fn quick() -> Table {
     use codb_bench::experiments::run_update;
     use codb_workload::{Scenario, Topology};
 
@@ -54,36 +58,64 @@ fn quick() {
             q.result.answers.len().to_string(),
         ]);
     }
-    println!("{}", t.render());
+    t
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("exp: {msg}");
+    std::process::exit(1);
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.iter().any(|a| a == "--quick") {
-        if args.len() > 1 {
-            eprintln!("--quick takes no other arguments (got {:?})", args);
-            std::process::exit(1);
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // Extract `--json PATH` wherever it appears.
+    let json_path = match args.iter().position(|a| a == "--json") {
+        Some(i) => {
+            args.remove(i);
+            if i >= args.len() {
+                fail("--json needs a PATH argument");
+            }
+            Some(args.remove(i))
         }
-        quick();
-        return;
-    }
-    if args.first().map(String::as_str) == Some("timeline") {
+        None => None,
+    };
+
+    let tables: Vec<Table> = if args.iter().any(|a| a == "--quick") {
+        if args.len() > 1 {
+            fail(&format!("--quick takes no other arguments (got {:?})", args));
+        }
+        vec![quick()]
+    } else if args.first().map(String::as_str) == Some("timeline") {
+        if json_path.is_some() {
+            fail("timeline renders a chart; --json applies to experiment tables");
+        }
         timeline(args.get(1).map(String::as_str).unwrap_or("chain"));
         return;
-    }
-    let tables = if args.is_empty() || args.iter().any(|a| a == "all") {
+    } else if args.is_empty() || args.iter().any(|a| a == "all") {
         all()
     } else {
         args.iter()
             .map(|id| {
                 by_id(id).unwrap_or_else(|| {
-                    eprintln!("unknown experiment {id:?} (use e1..e16, all, --quick or timeline)");
-                    std::process::exit(1);
+                    fail(&format!(
+                        "unknown experiment {id:?} (use e1..e17, all, --quick or timeline)"
+                    ))
                 })
             })
             .collect()
     };
-    for t in tables {
+
+    for t in &tables {
         println!("{}", t.render());
+    }
+    if let Some(path) = json_path {
+        let js = match serde_json::to_string_pretty(&tables) {
+            Ok(js) => js,
+            Err(e) => fail(&format!("JSON serialisation failed: {e}")),
+        };
+        if let Err(e) = std::fs::write(&path, js + "\n") {
+            fail(&format!("cannot write {path}: {e}"));
+        }
+        eprintln!("exp: wrote {} table(s) to {path}", tables.len());
     }
 }

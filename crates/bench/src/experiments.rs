@@ -665,6 +665,74 @@ pub fn e16() -> Table {
     t
 }
 
+/// E17 — durable-store recovery: WAL replay cost vs checkpoint (snapshot)
+/// interval. A synthetic node applies 1000 firing batches through a
+/// [`codb_store::Store`]; recovery replays whatever the last checkpoint
+/// did not compact. Recovery must reproduce the live state exactly
+/// (asserted), so this doubles as an end-to-end format check.
+pub fn e17() -> Table {
+    use codb_relational::glav::TField;
+    use codb_relational::{RelationSchema, Snapshot, Value, ValueType};
+    use codb_store::{RecvCaches, ScratchDir, Store, SyncPolicy, WalRecord};
+
+    let mut t = Table::new(
+        "E17 — recovery: WAL replay vs checkpoint interval (1000 batches, 4 firings each)",
+        &["checkpoint every", "generations", "wal records", "recover ms", "records/s", "tuples"],
+    );
+    const BATCHES: u64 = 1000;
+    const PER_BATCH: i64 = 4;
+    for interval in [0u64, 250, 50, 10] {
+        let dir = ScratchDir::new("e17");
+        let mut inst = Instance::new();
+        inst.add_relation(RelationSchema::with_types("r", &[ValueType::Int, ValueType::Int]));
+        let mut nulls = NullFactory::new(7);
+        let mut recv = RecvCaches::new();
+        let mut store =
+            Store::create(dir.path(), &Snapshot::capture(&inst, &nulls), &recv, SyncPolicy::Never)
+                .unwrap();
+        for b in 0..BATCHES {
+            let firings: Vec<RuleFiring> = (0..PER_BATCH)
+                .map(|k| RuleFiring {
+                    atoms: vec![(
+                        "r".to_owned(),
+                        vec![TField::Const(Value::Int(b as i64 * PER_BATCH + k)), TField::Fresh(0)],
+                    )],
+                })
+                .collect();
+            let cache = recv.entry("e".to_owned()).or_default();
+            let fresh: Vec<RuleFiring> =
+                firings.into_iter().filter(|f| cache.insert(f.clone())).collect();
+            store
+                .append(&WalRecord::Applied { rule: "e".to_owned(), firings: fresh.clone() })
+                .unwrap();
+            codb_relational::apply_firings(&mut inst, &fresh, &mut nulls).unwrap();
+            if interval > 0 && (b + 1) % interval == 0 {
+                store.checkpoint(&Snapshot::capture(&inst, &nulls), &recv).unwrap();
+            }
+        }
+        store.sync().unwrap();
+        let generations = store.generation() + 1;
+        let wal_records = store.wal_records();
+        drop(store);
+
+        let t0 = Instant::now();
+        let (_reopened, rec) = Store::open(dir.path(), SyncPolicy::Never).unwrap();
+        let elapsed = t0.elapsed();
+        assert_eq!(rec.instance, inst, "recovery must reproduce the live state");
+        assert_eq!(rec.nulls.invented(), nulls.invented());
+        let rate = rec.wal_records_replayed as f64 / elapsed.as_secs_f64().max(1e-9);
+        t.row(vec![
+            if interval == 0 { "never".to_owned() } else { interval.to_string() },
+            generations.to_string(),
+            wal_records.to_string(),
+            ms(elapsed),
+            format!("{rate:.0}"),
+            rec.instance.tuple_count().to_string(),
+        ]);
+    }
+    t
+}
+
 /// All experiments in id order.
 pub fn all() -> Vec<Table> {
     vec![
@@ -684,10 +752,11 @@ pub fn all() -> Vec<Table> {
         e14(),
         e15(),
         e16(),
+        e17(),
     ]
 }
 
-/// Runs one experiment by id (`"e1"` … `"e16"`).
+/// Runs one experiment by id (`"e1"` … `"e17"`).
 pub fn by_id(id: &str) -> Option<Table> {
     match id {
         "e1" => Some(e1()),
@@ -706,6 +775,7 @@ pub fn by_id(id: &str) -> Option<Table> {
         "e14" => Some(e14()),
         "e15" => Some(e15()),
         "e16" => Some(e16()),
+        "e17" => Some(e17()),
         _ => None,
     }
 }
@@ -727,10 +797,10 @@ mod tests {
 
     #[test]
     fn by_id_covers_all_ids() {
-        for i in 1..=16 {
+        for i in 1..=17 {
             assert!(by_id(&format!("e{i}")).is_some(), "e{i} missing");
         }
-        assert!(by_id("e17").is_none());
+        assert!(by_id("e18").is_none());
     }
 
     #[test]

@@ -1,10 +1,12 @@
 //! Plain-text result tables — the harness's replacement for the demo's
-//! statistics screens.
+//! statistics screens. Tables also serialise to JSON (`exp --json`) so
+//! perf trajectories can be tracked by machines, not just eyeballs.
 
+use serde::Serialize;
 use std::fmt::Write as _;
 
 /// A rendered experiment result: a title, column headers and rows.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize)]
 pub struct Table {
     /// Experiment id + description.
     pub title: String,

@@ -232,6 +232,12 @@ pub struct Envelope {
     /// Transport sequence number; `None` only for [`Body::Ack`] and
     /// harness-injected control messages.
     pub seq: Option<u64>,
+    /// Sender incarnation. A node restarted from its durable store rejoins
+    /// with a higher epoch (the JXTA stand-in: a restarted peer opens new
+    /// transport sessions); receivers reset their per-sender duplicate
+    /// state when they see the epoch grow, so the fresh incarnation's
+    /// restarted sequence numbers are not mistaken for duplicates.
+    pub epoch: u64,
     /// The payload.
     pub body: Body,
 }
@@ -239,13 +245,13 @@ pub struct Envelope {
 impl Envelope {
     /// An unsequenced control envelope (harness injection / acks).
     pub fn control(body: Body) -> Self {
-        Envelope { seq: None, body }
+        Envelope { seq: None, epoch: 0, body }
     }
 }
 
 impl Payload for Envelope {
     fn size_bytes(&self) -> usize {
-        8 + self.body.size_bytes()
+        16 + self.body.size_bytes()
     }
 }
 

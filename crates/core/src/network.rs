@@ -49,6 +49,7 @@ pub struct CoDbNetwork {
     sim: SimNet<Envelope, CoDbNode>,
     config: NetworkConfig,
     superpeer: Option<NodeId>,
+    settings: NodeSettings,
 }
 
 impl CoDbNetwork {
@@ -95,7 +96,7 @@ impl CoDbNetwork {
                 codb_relational::DatabaseSchema::new(),
                 Vec::new(),
                 &[],
-                settings,
+                settings.clone(),
             )
             .with_superpeer_config(config.clone());
             sim.add_peer(id.peer(), node);
@@ -103,7 +104,7 @@ impl CoDbNetwork {
         } else {
             None
         };
-        let mut net = CoDbNetwork { sim, config, superpeer };
+        let mut net = CoDbNetwork { sim, config, superpeer, settings };
         net.sim.run_until_quiescent(); // process start events (pipes, adverts)
         Ok(net)
     }
@@ -266,6 +267,116 @@ impl CoDbNetwork {
     /// Total tuples across all node LDBs.
     pub fn total_tuples(&self) -> usize {
         self.sim.peers().map(|(_, n)| n.ldb().tuple_count()).sum()
+    }
+
+    // ---- durability (codb-store) ----
+
+    /// The per-node store directory under a data-dir root: one
+    /// subdirectory per node, keyed by the configuration name.
+    pub fn node_data_dir(root: &std::path::Path, name: &str) -> std::path::PathBuf {
+        root.join(name)
+    }
+
+    /// Opens persistence for one node under `dir` (exact directory, not a
+    /// root): recovers existing on-disk state or initialises a fresh store
+    /// from the node's current state. Returns `Some(stats)` on recovery,
+    /// `None` for a fresh store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not alive (same contract as [`CoDbNetwork::node`];
+    /// a crashed node must be restarted via
+    /// [`CoDbNetwork::restart_node_from_disk`], not re-attached).
+    pub fn open_node_persistence(
+        &mut self,
+        id: NodeId,
+        dir: &std::path::Path,
+        policy: codb_store::SyncPolicy,
+    ) -> Result<Option<codb_store::RecoveryStats>, codb_store::StoreError> {
+        self.sim.peer_mut(id.peer()).expect("node exists").open_persistence(dir, policy)
+    }
+
+    /// Opens persistence for every configured node under
+    /// `root/<node-name>`. Returns the names of nodes whose state was
+    /// recovered from disk (the rest were freshly initialised).
+    pub fn open_persistence_all(
+        &mut self,
+        root: &std::path::Path,
+        policy: codb_store::SyncPolicy,
+    ) -> Result<Vec<String>, codb_store::StoreError> {
+        let nodes: Vec<(NodeId, String)> =
+            self.config.nodes.iter().map(|n| (n.id, n.name.clone())).collect();
+        let mut recovered = Vec::new();
+        for (id, name) in nodes {
+            if self.open_node_persistence(id, &Self::node_data_dir(root, &name), policy)?.is_some()
+            {
+                recovered.push(name);
+            }
+        }
+        Ok(recovered)
+    }
+
+    /// Checkpoints one node's store (snapshot + WAL rotation/compaction).
+    /// Returns `false` when the node has no store attached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not alive (same contract as [`CoDbNetwork::node`]).
+    pub fn checkpoint_node(&mut self, id: NodeId) -> Result<bool, codb_store::StoreError> {
+        self.sim.peer_mut(id.peer()).expect("node exists").checkpoint()
+    }
+
+    /// Kills a node: its in-memory state (including protocol caches and
+    /// any attached store handle) is dropped, its pipes close, in-flight
+    /// messages to it are discarded. Durable state stays on disk. Returns
+    /// `false` when the node was not present.
+    pub fn crash_node(&mut self, id: NodeId) -> bool {
+        self.sim.remove_peer(id.peer()).is_some()
+    }
+
+    /// Restarts a crashed (or departed) node from its data directory: the
+    /// node is rebuilt from the configuration *without* seed data, its
+    /// state recovered from disk (snapshot + WAL replay), and re-added to
+    /// the network (start events — pipe opening, advertisement — run
+    /// before this returns). The restarted node's protocol sequence
+    /// numbers start fresh, so recovered nodes should rejoin as responders
+    /// and leave update initiation to live nodes. Returns the recovery
+    /// summary (generation, WAL records replayed, torn-tail flag, epoch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a configured node.
+    pub fn restart_node_from_disk(
+        &mut self,
+        id: NodeId,
+        dir: &std::path::Path,
+        policy: codb_store::SyncPolicy,
+    ) -> Result<codb_store::RecoveryStats, codb_store::StoreError> {
+        let nc = self
+            .config
+            .nodes
+            .iter()
+            .find(|n| n.id == id)
+            .unwrap_or_else(|| panic!("node {id:?} not in configuration"));
+        if !codb_store::Store::exists(dir) {
+            // An empty data dir means there is nothing to restart from;
+            // refuse rather than silently rejoin with an empty database.
+            return Err(codb_store::StoreError::NoState { dir: dir.to_owned() });
+        }
+        let mut node = CoDbNode::new(
+            id,
+            &nc.name,
+            nc.schema.clone(),
+            Vec::new(),
+            &self.config.rules,
+            self.settings.clone(),
+        );
+        let stats = node
+            .open_persistence(dir, policy)?
+            .expect("Store::exists checked above, so open_persistence recovers");
+        self.sim.add_peer(id.peer(), node);
+        self.sim.run_until_quiescent();
+        Ok(stats)
     }
 }
 

@@ -94,6 +94,13 @@ pub struct CoDbNode {
     pub(crate) superpeer_config: Option<NetworkConfig>,
     /// Statistics collected from the network (super-peer only).
     pub collected: NetworkReport,
+    // ---- durability (codb-store) ----
+    /// Attached store; when present, every applied update delta and local
+    /// insert is WAL-logged so the node can crash and rejoin.
+    pub(crate) persist: Option<codb_store::Store>,
+    /// First storage error, latched; the store detaches on error so a
+    /// diverged log never keeps growing silently.
+    pub(crate) persist_error: Option<String>,
 }
 
 impl CoDbNode {
@@ -137,6 +144,8 @@ impl CoDbNode {
             report: NodeReport::new(id),
             superpeer_config: None,
             collected: NetworkReport::default(),
+            persist: None,
+            persist_error: None,
         }
     }
 
@@ -190,9 +199,77 @@ impl CoDbNode {
     }
 
     /// Restores a snapshot, replacing the LDB and null-factory state.
+    /// Does **not** touch an attached store; use [`CoDbNode::open_persistence`]
+    /// for disk-backed recovery.
     pub fn restore(&mut self, snapshot: codb_relational::Snapshot) {
         self.ldb = snapshot.instance;
         self.nulls = snapshot.nulls;
+    }
+
+    /// Opens durable persistence rooted at `dir`: recovers existing state
+    /// (latest valid snapshot + WAL-tail replay, including the
+    /// receiver-side dedup caches) when the directory holds a store,
+    /// otherwise initialises a fresh store from the node's current state.
+    /// From then on every applied update delta and local insert is
+    /// WAL-logged. Returns `Some(stats)` when state was recovered from
+    /// disk, `None` when a fresh store was initialised.
+    pub fn open_persistence(
+        &mut self,
+        dir: &std::path::Path,
+        policy: codb_store::SyncPolicy,
+    ) -> Result<Option<codb_store::RecoveryStats>, codb_store::StoreError> {
+        if codb_store::Store::exists(dir) {
+            let (store, recovered) = codb_store::Store::open(dir, policy)?;
+            let stats = recovered.stats();
+            self.ldb = recovered.instance;
+            self.nulls = recovered.nulls;
+            self.recv_cache = recovered.recv_cache;
+            // New incarnation: stamp a higher epoch on outgoing envelopes
+            // so peers reset their per-sender duplicate state (this node's
+            // transport sequence numbers start over).
+            self.reliable.set_epoch(recovered.epoch);
+            self.persist = Some(store);
+            Ok(Some(stats))
+        } else {
+            let store = codb_store::Store::create(dir, &self.snapshot(), &self.recv_cache, policy)?;
+            self.persist = Some(store);
+            Ok(None)
+        }
+    }
+
+    /// The attached store, if any.
+    pub fn store(&self) -> Option<&codb_store::Store> {
+        self.persist.as_ref()
+    }
+
+    /// The first storage error, if logging ever failed (the store detaches
+    /// itself at that point).
+    pub fn persist_error(&self) -> Option<&str> {
+        self.persist_error.as_deref()
+    }
+
+    /// Checkpoint: snapshots the current state to disk and rotates /
+    /// compacts the WAL. Returns `false` when no store is attached.
+    pub fn checkpoint(&mut self) -> Result<bool, codb_store::StoreError> {
+        let snap = self.snapshot();
+        match &mut self.persist {
+            Some(store) => {
+                store.checkpoint(&snap, &self.recv_cache)?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// WAL-logs `record`, latching the first storage error and detaching
+    /// the store (a log that missed a record must not keep growing).
+    pub(crate) fn log_wal(&mut self, record: codb_store::WalRecord) {
+        if let Some(store) = &mut self.persist {
+            if let Err(e) = store.append(&record) {
+                self.persist_error = Some(e.to_string());
+                self.persist = None;
+            }
+        }
     }
 
     /// Local write (the demo UI's data entry): inserts one tuple into the
@@ -202,7 +279,17 @@ impl CoDbNode {
         relation: &str,
         tuple: Tuple,
     ) -> Result<bool, codb_relational::SchemaError> {
-        self.ldb.insert(relation, tuple)
+        let record = self.persist.is_some().then(|| codb_store::WalRecord::LocalInsert {
+            relation: relation.to_owned(),
+            tuple: tuple.clone(),
+        });
+        let added = self.ldb.insert(relation, tuple)?;
+        if added {
+            if let Some(record) = record {
+                self.log_wal(record);
+            }
+        }
+        Ok(added)
     }
 
     // ---- plumbing shared by the engines ----
@@ -224,10 +311,18 @@ impl CoDbNode {
         self.arm_retransmit(ctx);
     }
 
-    /// Sends an unsequenced transport ack.
-    pub(crate) fn post_ack(&mut self, ctx: &mut Context<Envelope>, to: NodeId, seq: u64) {
+    /// Sends an unsequenced transport ack, echoing the epoch of the
+    /// acknowledged envelope so the sender can tell which incarnation's
+    /// seq is being retired.
+    pub(crate) fn post_ack(
+        &mut self,
+        ctx: &mut Context<Envelope>,
+        to: NodeId,
+        seq: u64,
+        epoch: u64,
+    ) {
         self.report.count_sent("ack");
-        ctx.send(to.peer(), Envelope::control(Body::Ack { seq }));
+        ctx.send(to.peer(), Envelope { seq: None, epoch, body: Body::Ack { seq } });
     }
 
     pub(crate) fn arm_retransmit(&mut self, ctx: &mut Context<Envelope>) {
@@ -269,15 +364,21 @@ impl Peer<Envelope> for CoDbNode {
         let from = NodeId::from(from);
         self.report.count_received(env.body.kind());
 
-        // Transport ack: retire and done.
+        // Transport ack: retire and done. Acks echo the epoch of the
+        // envelope they acknowledge; an ack for a previous incarnation's
+        // envelope must not retire a same-seq message of this incarnation
+        // (sequence numbers restart at recovery).
         if let Body::Ack { seq } = env.body {
-            self.reliable.on_ack(seq);
+            if env.epoch == self.reliable.epoch() {
+                self.reliable.on_ack(seq);
+            }
             return;
         }
-        // Ack every sequenced message, then drop duplicates.
+        // Ack every sequenced message, then drop duplicates (and stale
+        // envelopes from a previous incarnation of the sender).
         if let Some(seq) = env.seq {
-            self.post_ack(ctx, from, seq);
-            if !self.reliable.should_process(from, Some(seq)) {
+            self.post_ack(ctx, from, seq, env.epoch);
+            if !self.reliable.should_process(from, env.epoch, Some(seq)) {
                 return;
             }
         }

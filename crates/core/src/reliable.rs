@@ -29,8 +29,16 @@ pub struct Outstanding {
 #[derive(Debug)]
 pub struct Reliable {
     next_seq: u64,
+    /// This node's incarnation, stamped on every sequenced envelope. Set
+    /// once at (re)start — bumping it mid-life would strand in-flight
+    /// retransmissions as stale.
+    epoch: u64,
     outstanding: BTreeMap<u64, Outstanding>,
-    seen: BTreeMap<NodeId, BTreeSet<u64>>,
+    /// Per-sender duplicate suppression: the sender's highest epoch seen
+    /// and the seqs processed within it. A higher epoch (the sender was
+    /// restarted from its store) resets the seq set; envelopes from lower
+    /// epochs are stale and dropped.
+    seen: BTreeMap<NodeId, (u64, BTreeSet<u64>)>,
     /// Retransmission interval.
     pub retransmit_after: SimTime,
     /// Give up on a message after this many retransmissions (the peer or
@@ -44,11 +52,24 @@ impl Reliable {
     pub fn new(retransmit_after: SimTime) -> Self {
         Reliable {
             next_seq: 0,
+            epoch: 0,
             outstanding: BTreeMap::new(),
             seen: BTreeMap::new(),
             retransmit_after,
             max_attempts: 25,
         }
+    }
+
+    /// Sets this node's incarnation (call before any message is sent —
+    /// i.e. right after recovering from a store).
+    pub fn set_epoch(&mut self, epoch: u64) {
+        debug_assert!(self.outstanding.is_empty(), "epoch change with messages in flight");
+        self.epoch = epoch;
+    }
+
+    /// This node's incarnation, as stamped on its sequenced envelopes.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Wraps `body` for `to`: assigns a transport seq and registers the
@@ -57,7 +78,7 @@ impl Reliable {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.outstanding.insert(seq, Outstanding { to, body: body.clone(), attempts: 0 });
-        Envelope { seq: Some(seq), body }
+        Envelope { seq: Some(seq), epoch: self.epoch, body }
     }
 
     /// Handles a transport ack; returns `true` if it retired an
@@ -67,12 +88,26 @@ impl Reliable {
     }
 
     /// Receiver-side dedup. Returns `true` when the message should be
-    /// processed (first delivery), `false` for duplicates. Unsequenced
-    /// envelopes (harness control) are always processed.
-    pub fn should_process(&mut self, from: NodeId, seq: Option<u64>) -> bool {
+    /// processed (first delivery), `false` for duplicates and for stale
+    /// envelopes from a previous incarnation of `from`. Unsequenced
+    /// envelopes (harness control) are always processed. A grown epoch
+    /// resets `from`'s seq set: the node was restarted and its sequence
+    /// numbers start over.
+    pub fn should_process(&mut self, from: NodeId, epoch: u64, seq: Option<u64>) -> bool {
         match seq {
             None => true,
-            Some(s) => self.seen.entry(from).or_default().insert(s),
+            Some(s) => {
+                let (seen_epoch, seqs) =
+                    self.seen.entry(from).or_insert_with(|| (0, BTreeSet::new()));
+                if epoch > *seen_epoch {
+                    *seen_epoch = epoch;
+                    seqs.clear();
+                }
+                if epoch < *seen_epoch {
+                    return false;
+                }
+                seqs.insert(s)
+            }
         }
     }
 
@@ -84,13 +119,14 @@ impl Reliable {
         let mut resend = Vec::new();
         let mut abandoned = Vec::new();
         let max = self.max_attempts;
+        let epoch = self.epoch;
         self.outstanding.retain(|seq, o| {
             o.attempts += 1;
             if o.attempts > max {
                 abandoned.push(o.clone());
                 false
             } else {
-                resend.push((o.to, Envelope { seq: Some(*seq), body: o.body.clone() }));
+                resend.push((o.to, Envelope { seq: Some(*seq), epoch, body: o.body.clone() }));
                 true
             }
         });
@@ -102,7 +138,9 @@ impl Reliable {
     pub fn pending(&self) -> Vec<(NodeId, Envelope)> {
         self.outstanding
             .iter()
-            .map(|(seq, o)| (o.to, Envelope { seq: Some(*seq), body: o.body.clone() }))
+            .map(|(seq, o)| {
+                (o.to, Envelope { seq: Some(*seq), epoch: self.epoch, body: o.body.clone() })
+            })
             .collect()
     }
 
@@ -150,11 +188,52 @@ mod tests {
     #[test]
     fn dedup_is_per_sender() {
         let mut r = Reliable::new(SimTime::from_millis(10));
-        assert!(r.should_process(NodeId(1), Some(5)));
-        assert!(!r.should_process(NodeId(1), Some(5)));
-        assert!(r.should_process(NodeId(2), Some(5)));
-        assert!(r.should_process(NodeId(1), None));
-        assert!(r.should_process(NodeId(1), None));
+        assert!(r.should_process(NodeId(1), 0, Some(5)));
+        assert!(!r.should_process(NodeId(1), 0, Some(5)));
+        assert!(r.should_process(NodeId(2), 0, Some(5)));
+        assert!(r.should_process(NodeId(1), 0, None));
+        assert!(r.should_process(NodeId(1), 0, None));
+    }
+
+    #[test]
+    fn grown_epoch_resets_dedup_and_stale_epochs_drop() {
+        let mut r = Reliable::new(SimTime::from_millis(10));
+        // First incarnation of node 1 sends seqs 0 and 1.
+        assert!(r.should_process(NodeId(1), 0, Some(0)));
+        assert!(r.should_process(NodeId(1), 0, Some(1)));
+        // The node restarts from its store (epoch 1): its restarted seq 0
+        // is a fresh message, not a duplicate.
+        assert!(r.should_process(NodeId(1), 1, Some(0)));
+        assert!(!r.should_process(NodeId(1), 1, Some(0)), "real duplicate still dropped");
+        // A straggler from the dead incarnation is stale, not replayed.
+        assert!(!r.should_process(NodeId(1), 0, Some(1)));
+    }
+
+    #[test]
+    fn stale_epoch_ack_must_not_retire_new_incarnation_seq() {
+        // The node-level ack handler compares the ack's epoch against
+        // Reliable::epoch() before calling on_ack; this pins the pieces
+        // that comparison relies on. A restarted node (epoch 1) re-uses
+        // seq 0; an ack echoing epoch 0 refers to the dead incarnation's
+        // seq 0 and must be distinguishable.
+        let mut r = Reliable::new(SimTime::from_millis(10));
+        r.set_epoch(1);
+        let e = r.wrap(NodeId(2), body());
+        assert_eq!((e.seq, e.epoch), (Some(0), 1));
+        // The node-level guard: ack epoch != current epoch → ignored.
+        assert_ne!(0, r.epoch(), "stale ack epoch must not match");
+        assert!(r.has_outstanding(), "seq 0 still awaiting a same-epoch ack");
+        assert!(r.on_ack(0), "a same-epoch ack retires it");
+    }
+
+    #[test]
+    fn epoch_is_stamped_on_envelopes() {
+        let mut r = Reliable::new(SimTime::from_millis(10));
+        r.set_epoch(7);
+        let e = r.wrap(NodeId(1), body());
+        assert_eq!(e.epoch, 7);
+        let (resend, _) = r.retransmission_round();
+        assert_eq!(resend[0].1.epoch, 7);
     }
 
     #[test]

@@ -307,6 +307,15 @@ impl CoDbNode {
         let fresh: Vec<RuleFiring> =
             firings.into_iter().filter(|f| cache.insert(f.clone())).collect();
         if !fresh.is_empty() {
+            // Durability: WAL the applied batch before mutating the LDB.
+            // Replay from the snapshot re-runs exactly these applies in
+            // order, reproducing instance, null factory and dedup caches.
+            if self.persist.is_some() {
+                self.log_wal(codb_store::WalRecord::Applied {
+                    rule: rule.clone(),
+                    firings: fresh.clone(),
+                });
+            }
             let deltas = codb_relational::apply_firings(&mut self.ldb, &fresh, &mut self.nulls)
                 .expect("firings validated against schema");
             let added: u64 = deltas.values().map(|v| v.len() as u64).sum();

@@ -1,0 +1,75 @@
+//! # codb-store
+//!
+//! The durable storage engine of the coDB reproduction. In the paper every
+//! peer sits on a real RDBMS, so node state survives restarts and the
+//! dynamic-network experiments assume peers can drop out and come back.
+//! Our nodes are in-memory; this crate gives them the missing durability:
+//! an append-only, checksummed **write-ahead log** of applied update
+//! deltas plus periodic **snapshot** files, with log rotation/compaction
+//! after each snapshot and a recovery path that tolerates a torn final
+//! frame.
+//!
+//! ## On-disk format
+//!
+//! A store is one directory holding at most a handful of files, named by
+//! *generation* (a counter bumped at every checkpoint):
+//!
+//! ```text
+//! <dir>/codb-0000000003.snap     snapshot of generation 3
+//! <dir>/codb-0000000003.wal      WAL tail of generation 3
+//! <dir>/codb.epoch               incarnation counter (bumped per open)
+//! ```
+//!
+//! `codb.epoch` counts the store's incarnations: every [`Store::open`]
+//! bumps it, and a recovered node stamps it on its envelopes so peers can
+//! tell a restarted node (whose transport sequence numbers start over)
+//! from a duplicate-sending one.
+//!
+//! Both file kinds share one *frame* layout (see [`frame`]):
+//!
+//! ```text
+//! [len: u32 LE][!len: u32 LE][crc32: u32 LE][payload: len bytes]
+//! ```
+//!
+//! where `crc32` is the IEEE CRC-32 of the payload and `!len` is the
+//! bitwise complement of `len` (so a corrupted length field is caught as
+//! corruption instead of masquerading as a torn tail). A `.snap` file is an
+//! 8-byte magic (`CODBSNP1`) followed by exactly one frame whose payload is
+//! a [`codb_relational::Snapshot`] (JSON, version-checked via
+//! `SNAPSHOT_VERSION`). A `.wal` file is an 8-byte magic (`CODBWAL1`)
+//! followed by any number of frames, each a JSON [`WalRecord`]. The first
+//! record of every WAL is a [`WalRecord::Caches`] checkpoint of the node's
+//! receiver-side dedup caches, so a recovered node never re-instantiates
+//! existential templates it has already materialised (which would silently
+//! duplicate GLAV data under fresh nulls).
+//!
+//! ## Compaction rules
+//!
+//! A checkpoint ([`Store::checkpoint`]) writes the snapshot of generation
+//! `g+1` via a temp file + atomic rename, starts a fresh
+//! `codb-<g+1>.wal`, and only then deletes the generation-`g` files. A
+//! crash at any point leaves at least one complete generation on disk;
+//! recovery loads the **latest valid** snapshot and replays its WAL tail.
+//!
+//! ## Failure semantics
+//!
+//! * A frame that runs past end-of-file is a *torn tail* — the classic
+//!   crash-mid-append artifact. Recovery stops cleanly before it and the
+//!   writer truncates it away on reopen.
+//! * A complete frame whose checksum does not match is **corruption** and
+//!   is rejected with a typed [`StoreError::CorruptFrame`] — never
+//!   silently accepted.
+//! * A snapshot with a mismatched format version is rejected with
+//!   [`codb_relational::SnapshotError::VersionMismatch`].
+
+#![warn(missing_docs)]
+
+pub mod frame;
+pub mod scratch;
+pub mod store;
+pub mod wal;
+
+pub use crate::store::{RecoveredState, RecoveryStats, Store, StoreError};
+pub use frame::{crc32, SNAP_MAGIC, WAL_MAGIC};
+pub use scratch::ScratchDir;
+pub use wal::{RecvCaches, SyncPolicy, WalRecord};

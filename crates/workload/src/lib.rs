@@ -4,14 +4,18 @@
 //! ([`topology::Topology`]), seeded data generators ([`data_gen`]) and
 //! complete scenario builders ([`scenario::Scenario`]) that assemble a
 //! validated `NetworkConfig` ready to run on the simulator — the library
-//! equivalent of the demo's hand-arranged networks.
+//! equivalent of the demo's hand-arranged networks. The [`crash`] module
+//! runs the durability scenario family: kill a node mid-update, recover
+//! it from its `codb-store` data directory, verify reconvergence.
 
 #![warn(missing_docs)]
 
+pub mod crash;
 pub mod data_gen;
 pub mod scenario;
 pub mod topology;
 
+pub use crash::{run_crash_restart, CrashRestartPlan, CrashRestartReport};
 pub use data_gen::{generate, generate_distinct, DataDist};
 pub use scenario::{RuleStyle, Scenario};
 pub use topology::Topology;

@@ -180,6 +180,17 @@ macro_rules! range_strategies {
 
 range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        // 53 uniform mantissa bits scaled into the half-open range.
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
 macro_rules! tuple_strategies {
     ($(($($t:ident),+))+) => {$(
         #[allow(non_snake_case)]
@@ -300,6 +311,73 @@ pub mod collection {
                 self.size.start
             };
             (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for ordered sets (length is *at most* the drawn size:
+    /// duplicate draws collapse, as in real proptest).
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// A `BTreeSet` of roughly `size` elements drawn from `element`.
+    pub fn btree_set<S: Strategy>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = std::collections::BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = if self.size.start < self.size.end {
+                self.size.generate(rng)
+            } else {
+                self.size.start
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for ordered maps (length is *at most* the drawn size:
+    /// duplicate keys collapse, as in real proptest).
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: Range<usize>,
+    }
+
+    /// A `BTreeMap` of roughly `size` entries drawn from `key`/`value`.
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: Range<usize>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy { key, value, size }
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = std::collections::BTreeMap<K::Value, V::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = if self.size.start < self.size.end {
+                self.size.generate(rng)
+            } else {
+                self.size.start
+            };
+            (0..len).map(|_| (self.key.generate(rng), self.value.generate(rng))).collect()
         }
     }
 }

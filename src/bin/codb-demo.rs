@@ -1,9 +1,14 @@
 //! Command-line demo driver — the library stand-in for the paper's demo
 //! UI: load a coordination-rules file, run updates and queries at chosen
-//! nodes, inspect databases and the super-peer's statistical report.
+//! nodes, inspect databases and the super-peer's statistical report, and
+//! (with `--data-dir`) persist node state across invocations.
 //!
 //! ```text
-//! codb-demo CONFIG_FILE COMMAND...
+//! codb-demo [--data-dir DIR] CONFIG_FILE COMMAND...
+//!
+//! Options:
+//!   --data-dir DIR                durable stores under DIR/<node>; nodes
+//!                                 with saved state recover it on startup
 //!
 //! Commands (executed in order):
 //!   update NODE                   start a global update at NODE
@@ -11,6 +16,10 @@
 //!   query NODE 'ans(X) :- r(X).'  query-time (network) answering
 //!   local-query NODE 'QUERY'      answer from the local database only
 //!   show NODE                     print NODE's local database
+//!   save NODE                     checkpoint NODE's store (snapshot +
+//!                                 WAL compaction; needs --data-dir)
+//!   recover NODE                  crash NODE and restore it from disk
+//!                                 (needs --data-dir)
 //!   stats                         super-peer statistics report (JSON)
 //! ```
 //!
@@ -19,7 +28,12 @@
 
 use codb::prelude::*;
 use codb::relational::pretty::render_relation;
+use std::path::PathBuf;
 use std::process::ExitCode;
+
+const USAGE: &str = "usage: codb-demo [--data-dir DIR] CONFIG_FILE COMMAND...\n\
+    commands: update NODE | scoped-update NODE REL[,REL] | query NODE 'Q' |\n\
+    local-query NODE 'Q' | show NODE | save NODE | recover NODE | stats";
 
 fn fail(msg: &str) -> ExitCode {
     eprintln!("codb-demo: {msg}");
@@ -27,9 +41,27 @@ fn fail(msg: &str) -> ExitCode {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+
+    // Options first (any order, before the config file).
+    let mut data_dir: Option<PathBuf> = None;
+    while let Some(first) = args.first() {
+        match first.as_str() {
+            "--data-dir" => {
+                args.remove(0);
+                if args.is_empty() {
+                    return fail(&format!("--data-dir needs a DIR argument\n{USAGE}"));
+                }
+                data_dir = Some(PathBuf::from(args.remove(0)));
+            }
+            flag if flag.starts_with("--") => {
+                return fail(&format!("unknown option {flag:?}\n{USAGE}"));
+            }
+            _ => break,
+        }
+    }
     let Some((config_path, rest)) = args.split_first() else {
-        return fail("usage: codb-demo CONFIG_FILE COMMAND...");
+        return fail(USAGE);
     };
     let text = match std::fs::read_to_string(config_path) {
         Ok(t) => t,
@@ -43,6 +75,19 @@ fn main() -> ExitCode {
         Ok(n) => n,
         Err(e) => return fail(&e.to_string()),
     };
+    if let Some(dir) = &data_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            return fail(&format!("cannot create data dir {}: {e}", dir.display()));
+        }
+        match net.open_persistence_all(dir, SyncPolicy::Always) {
+            Ok(recovered) => {
+                for name in recovered {
+                    eprintln!("codb-demo: recovered {name} from {}", dir.display());
+                }
+            }
+            Err(e) => return fail(&format!("persistence setup failed: {e}")),
+        }
+    }
 
     let node_arg = |net: &CoDbNetwork, name: &str| -> Option<codb::core::NodeId> {
         let id = net.node_id(name);
@@ -111,6 +156,46 @@ fn main() -> ExitCode {
                     print!("{}", render_relation(rel));
                 }
             }
+            "save" => {
+                let Some(name) = it.next() else { return fail("save needs NODE") };
+                if data_dir.is_none() {
+                    return fail("save needs --data-dir");
+                }
+                let Some(id) = node_arg(&net, name) else { return ExitCode::FAILURE };
+                match net.checkpoint_node(id) {
+                    Ok(true) => {
+                        let node = net.node(id);
+                        let generation =
+                            node.store().map(codb::store::Store::generation).unwrap_or(0);
+                        println!(
+                            "saved {name}: generation {generation}, {} tuples",
+                            node.ldb().tuple_count()
+                        );
+                    }
+                    Ok(false) => return fail(&format!("{name} has no store attached")),
+                    Err(e) => return fail(&format!("save {name} failed: {e}")),
+                }
+            }
+            "recover" => {
+                let Some(name) = it.next() else { return fail("recover needs NODE") };
+                let Some(dir) = &data_dir else {
+                    return fail("recover needs --data-dir");
+                };
+                let Some(id) = node_arg(&net, name) else { return ExitCode::FAILURE };
+                net.crash_node(id);
+                let node_dir = CoDbNetwork::node_data_dir(dir, name);
+                match net.restart_node_from_disk(id, &node_dir, SyncPolicy::Always) {
+                    Ok(stats) => println!(
+                        "recovered {name} from {}: {} tuples (generation {}, {} WAL records{})",
+                        node_dir.display(),
+                        net.node(id).ldb().tuple_count(),
+                        stats.generation,
+                        stats.wal_records_replayed,
+                        if stats.torn_tail { ", torn tail truncated" } else { "" }
+                    ),
+                    Err(e) => return fail(&format!("recover {name} failed: {e}")),
+                }
+            }
             "stats" => {
                 let report = net.collect_stats();
                 match serde_json::to_string_pretty(&report) {
@@ -118,7 +203,7 @@ fn main() -> ExitCode {
                     Err(e) => return fail(&format!("stats serialisation: {e}")),
                 }
             }
-            other => return fail(&format!("unknown command {other:?}")),
+            other => return fail(&format!("unknown command {other:?}\n{USAGE}")),
         }
     }
     ExitCode::SUCCESS

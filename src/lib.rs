@@ -47,12 +47,15 @@
 //! The workspace crates are re-exported here: [`relational`] (the
 //! relational engine with marked nulls and GLAV rules), [`net`] (the
 //! deterministic discrete-event P2P simulator standing in for JXTA),
-//! [`core`] (the coDB node and its distributed algorithms) and
-//! [`workload`] (topology/data generators for the experiments).
+//! [`core`] (the coDB node and its distributed algorithms), [`store`]
+//! (the durable storage engine: WAL + snapshots + crash recovery) and
+//! [`workload`] (topology/data/crash-scenario generators for the
+//! experiments).
 
 pub use codb_core as core;
 pub use codb_net as net;
 pub use codb_relational as relational;
+pub use codb_store as store;
 pub use codb_workload as workload;
 
 /// The common imports for using coDB as a library.
@@ -67,5 +70,9 @@ pub mod prelude {
         parse_facts, parse_query, parse_rule, ConjunctiveQuery, DatabaseSchema, GlavRule, Instance,
         Relation, RelationSchema, Tuple, Value, ValueType,
     };
-    pub use codb_workload::{DataDist, RuleStyle, Scenario, Topology};
+    pub use codb_store::{Store, StoreError, SyncPolicy, WalRecord};
+    pub use codb_workload::{
+        run_crash_restart, CrashRestartPlan, CrashRestartReport, DataDist, RuleStyle, Scenario,
+        Topology,
+    };
 }

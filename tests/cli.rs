@@ -134,3 +134,84 @@ fn bad_inputs_fail_cleanly() {
         demo().args([config.as_str(), "query", "portal", "ans(X) :- nope((("]).output().unwrap();
     assert!(!out.status.success());
 }
+
+/// Self-cleaning scratch dirs come from codb-store; this wraps one with
+/// the &str accessor the Command args want.
+struct TempDir(codb::store::ScratchDir);
+
+impl TempDir {
+    fn new(prefix: &str) -> Self {
+        TempDir(codb::store::ScratchDir::new(prefix))
+    }
+
+    fn as_str(&self) -> &str {
+        self.0.path().to_str().unwrap()
+    }
+}
+
+#[test]
+fn save_then_separate_invocation_recovers_state() {
+    let config = write_config();
+    let data = TempDir::new("codb-demo-data");
+    // First invocation: materialise at portal and checkpoint it.
+    let out = demo()
+        .args(["--data-dir", data.as_str(), config.as_str(), "update", "portal", "save", "portal"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("saved portal"), "{stdout}");
+
+    // Second invocation (fresh process): no update, yet alice is there —
+    // recovered from the store at startup.
+    let out = demo()
+        .args(["--data-dir", data.as_str(), config.as_str(), "show", "portal"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"alice\""), "recovered data visible:\n{stdout}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("recovered portal"),
+        "startup recovery reported"
+    );
+}
+
+#[test]
+fn recover_command_restores_node_in_process() {
+    let config = write_config();
+    let data = TempDir::new("codb-demo-recover");
+    let out = demo()
+        .args([
+            "--data-dir",
+            data.as_str(),
+            config.as_str(),
+            "update",
+            "portal",
+            "recover",
+            "portal",
+            "show",
+            "portal",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("recovered portal"), "{stdout}");
+    assert!(stdout.contains("\"alice\""), "WAL replay restored the materialised tuple:\n{stdout}");
+}
+
+#[test]
+fn save_and_recover_require_data_dir() {
+    let config = write_config();
+    let out = demo().args([config.as_str(), "save", "portal"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--data-dir"));
+    let out = demo().args([config.as_str(), "recover", "portal"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--data-dir"));
+    // Unknown options are rejected with usage, not ignored.
+    let out = demo().args(["--bogus", config.as_str(), "stats"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}

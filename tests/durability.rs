@@ -1,0 +1,125 @@
+//! System-level durability tests: the acceptance scenario for the
+//! `codb-store` subsystem — a node killed mid-update, reopened from its
+//! data directory, recovers snapshot + WAL state exactly and reconverges
+//! to the network fixpoint of a never-crashed control network.
+
+use codb::core::NodeId;
+use codb::prelude::*;
+use codb::store::ScratchDir;
+
+/// The headline acceptance scenario: kill a chain node mid-flood, recover
+/// from disk, verify exact (instance + null factory) equality with a
+/// control node after reconvergence.
+#[test]
+fn crashed_node_recovers_exactly_and_reconverges() {
+    let tmp = ScratchDir::new("durability-accept");
+    let scenario = Scenario { tuples_per_node: 30, ..Scenario::quick(Topology::Chain(5)) };
+    let plan = CrashRestartPlan::new(scenario, NodeId(2));
+    let report = run_crash_restart(&plan, tmp.path()).unwrap();
+    assert!(report.killed_mid_update, "kill must land mid-update: {report:?}");
+    assert!(report.instances_equal, "instance equality: {report:?}");
+    assert!(report.factories_equal, "null-factory equality: {report:?}");
+    assert!(report.all_nodes_equal, "whole-network fixpoint: {report:?}");
+    assert!(
+        report.victim_tuples_final >= report.victim_tuples_at_recovery,
+        "reconvergence only adds: {report:?}"
+    );
+}
+
+/// GLAV rules invent marked nulls whose labels depend on apply order; a
+/// recovered node must reach an isomorphic fixpoint with equal factory
+/// counters (no null is ever minted twice for the same template).
+#[test]
+fn glav_crash_recovery_is_isomorphic_with_equal_factories() {
+    let tmp = ScratchDir::new("durability-glav");
+    let scenario = Scenario {
+        rule_style: RuleStyle::ProjectGlav,
+        tuples_per_node: 15,
+        ..Scenario::quick(Topology::Chain(4))
+    };
+    let plan = CrashRestartPlan::new(scenario, NodeId(1));
+    let report = run_crash_restart(&plan, tmp.path()).unwrap();
+    assert!(report.isomorphic, "{report:?}");
+    assert!(report.factories_equal, "{report:?}");
+}
+
+/// Persistence survives a full process-style lifecycle driven through the
+/// library API: update, checkpoint, "exit" (drop the network), rebuild
+/// from config, recover from disk — the materialised state is back
+/// without re-running the update.
+#[test]
+fn state_survives_network_teardown_and_rebuild() {
+    let tmp = ScratchDir::new("durability-teardown");
+    let config_text = r#"
+        node hr
+        node portal
+        schema hr: emp(str, int)
+        schema portal: person(str, int)
+        data hr: emp("alice", 30). emp("bob", 17).
+        rule adults @ hr -> portal: person(N, A) <- emp(N, A), A >= 18.
+    "#;
+    let config = NetworkConfig::parse(config_text).unwrap();
+
+    // First life: materialise, checkpoint, tear down.
+    let (portal_tuples, portal_id) = {
+        let mut net = CoDbNetwork::build(config.clone(), SimConfig::default()).unwrap();
+        net.open_persistence_all(tmp.path(), SyncPolicy::Always).unwrap();
+        let portal = net.node_id("portal").unwrap();
+        net.run_update(portal);
+        assert!(net.checkpoint_node(portal).unwrap());
+        (net.node(portal).ldb().tuple_count(), portal)
+    };
+    assert_eq!(portal_tuples, 1, "alice materialised at portal");
+
+    // Second life: the seed config alone would leave portal empty; the
+    // store brings the materialised tuple back.
+    let mut net = CoDbNetwork::build(config, SimConfig::default()).unwrap();
+    assert_eq!(net.node(portal_id).ldb().tuple_count(), 0);
+    let recovered = net.open_persistence_all(tmp.path(), SyncPolicy::Always).unwrap();
+    assert!(recovered.contains(&"portal".to_owned()), "{recovered:?}");
+    assert_eq!(net.node(portal_id).ldb().tuple_count(), 1);
+    let q = net.run_query_text(portal_id, "ans(N) :- person(N, A).", false).unwrap();
+    assert_eq!(q.result.answers.len(), 1);
+}
+
+/// Local inserts are WAL-logged too: a write between checkpoints survives
+/// a crash (WAL replay), not just a checkpoint.
+#[test]
+fn local_insert_survives_via_wal_replay_alone() {
+    let tmp = ScratchDir::new("durability-local");
+    let config_text = r#"
+        node solo
+        schema solo: r(int, int)
+        data solo: r(1, 2).
+    "#;
+    let config = NetworkConfig::parse(config_text).unwrap();
+    let solo = {
+        let mut net = CoDbNetwork::build(config.clone(), SimConfig::default()).unwrap();
+        net.open_persistence_all(tmp.path(), SyncPolicy::Always).unwrap();
+        let solo = net.node_id("solo").unwrap();
+        // No checkpoint after this insert: only the WAL has it.
+        net.sim_mut()
+            .peer_mut(solo.peer())
+            .unwrap()
+            .insert_local("r", codb::relational::Tuple::new(vec![Value::Int(7), Value::Int(8)]))
+            .unwrap();
+        solo
+    };
+    let mut net = CoDbNetwork::build(config, SimConfig::default()).unwrap();
+    net.open_persistence_all(tmp.path(), SyncPolicy::Always).unwrap();
+    assert_eq!(net.node(solo).ldb().tuple_count(), 2, "seed + WAL-replayed insert");
+}
+
+/// A node that was never persisted cannot be restarted from an empty
+/// directory — the error is typed, not a silent empty rejoin.
+#[test]
+fn restart_from_empty_dir_is_refused() {
+    let tmp = ScratchDir::new("durability-empty");
+    let scenario = Scenario { tuples_per_node: 5, ..Scenario::quick(Topology::Chain(2)) };
+    let mut net = CoDbNetwork::build(scenario.build_config(), SimConfig::default()).unwrap();
+    net.crash_node(NodeId(0));
+    let err = net
+        .restart_node_from_disk(NodeId(0), &tmp.path().join("node0"), SyncPolicy::Always)
+        .unwrap_err();
+    assert!(matches!(err, StoreError::NoState { .. }), "{err}");
+}
