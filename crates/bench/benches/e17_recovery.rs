@@ -5,7 +5,7 @@ use codb_relational::glav::TField;
 use codb_relational::{
     apply_firings, Instance, NullFactory, RelationSchema, RuleFiring, Snapshot, Value, ValueType,
 };
-use codb_store::{RecvCaches, ScratchDir, Store, SyncPolicy, WalRecord};
+use codb_store::{ProtocolCounters, RecvCaches, ScratchDir, Store, SyncPolicy, WalRecord};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 
@@ -17,9 +17,14 @@ fn build_store(batches: u64) -> ScratchDir {
     inst.add_relation(RelationSchema::with_types("r", &[ValueType::Int, ValueType::Int]));
     let mut nulls = NullFactory::new(1);
     let mut recv = RecvCaches::new();
-    let mut store =
-        Store::create(dir.path(), &Snapshot::capture(&inst, &nulls), &recv, SyncPolicy::Never)
-            .unwrap();
+    let mut store = Store::create(
+        dir.path(),
+        &Snapshot::capture(&inst, &nulls),
+        &recv,
+        &ProtocolCounters::default(),
+        SyncPolicy::Never,
+    )
+    .unwrap();
     for b in 0..batches {
         let firings = vec![RuleFiring {
             atoms: vec![(

@@ -666,18 +666,37 @@ pub fn e16() -> Table {
 }
 
 /// E17 — durable-store recovery: WAL replay cost vs checkpoint (snapshot)
-/// interval. A synthetic node applies 1000 firing batches through a
-/// [`codb_store::Store`]; recovery replays whatever the last checkpoint
-/// did not compact. Recovery must reproduce the live state exactly
-/// (asserted), so this doubles as an end-to-end format check.
+/// interval, plus the **rejoin cost** of bringing the recovered node back
+/// as a first-class peer. The first half is synthetic: a node applies
+/// 1000 firing batches through a [`codb_store::Store`]; recovery replays
+/// whatever the last checkpoint did not compact, and must reproduce the
+/// live state exactly (asserted — an end-to-end format check). The last
+/// column composes durability with incremental propagation (the E15
+/// axis): a chain-4 network with `incremental_updates: true` crashes a
+/// node mid-update (checkpointing it at a cadence matching the row),
+/// restarts it from disk, has the *recovered node* initiate the
+/// reconvergence update, and reports the rejoin cost in messages — the
+/// `Rejoin`/`RejoinAck` handshake plus the one-off full re-send overhead
+/// relative to a never-crashed control.
 pub fn e17() -> Table {
     use codb_relational::glav::TField;
     use codb_relational::{RelationSchema, Snapshot, Value, ValueType};
-    use codb_store::{RecvCaches, ScratchDir, Store, SyncPolicy, WalRecord};
+    use codb_store::{ProtocolCounters, RecvCaches, ScratchDir, Store, SyncPolicy, WalRecord};
+    use codb_workload::{run_crash_restart, CrashRestartPlan};
 
     let mut t = Table::new(
-        "E17 — recovery: WAL replay vs checkpoint interval (1000 batches, 4 firings each)",
-        &["checkpoint every", "generations", "wal records", "recover ms", "records/s", "tuples"],
+        "E17 — recovery: WAL replay vs checkpoint interval (1000 batches, 4 firings each) \
+         + rejoin cost (chain-4, recovered node initiates)",
+        &[
+            "checkpoint every (batches)",
+            "generations",
+            "wal records",
+            "recover ms",
+            "records/s",
+            "tuples",
+            "victim ckpt (events)",
+            "rejoin cost (msgs)",
+        ],
     );
     const BATCHES: u64 = 1000;
     const PER_BATCH: i64 = 4;
@@ -687,9 +706,14 @@ pub fn e17() -> Table {
         inst.add_relation(RelationSchema::with_types("r", &[ValueType::Int, ValueType::Int]));
         let mut nulls = NullFactory::new(7);
         let mut recv = RecvCaches::new();
-        let mut store =
-            Store::create(dir.path(), &Snapshot::capture(&inst, &nulls), &recv, SyncPolicy::Never)
-                .unwrap();
+        let mut store = Store::create(
+            dir.path(),
+            &Snapshot::capture(&inst, &nulls),
+            &recv,
+            &ProtocolCounters::default(),
+            SyncPolicy::Never,
+        )
+        .unwrap();
         for b in 0..BATCHES {
             let firings: Vec<RuleFiring> = (0..PER_BATCH)
                 .map(|k| RuleFiring {
@@ -707,7 +731,13 @@ pub fn e17() -> Table {
                 .unwrap();
             codb_relational::apply_firings(&mut inst, &fresh, &mut nulls).unwrap();
             if interval > 0 && (b + 1) % interval == 0 {
-                store.checkpoint(&Snapshot::capture(&inst, &nulls), &recv).unwrap();
+                store
+                    .checkpoint(
+                        &Snapshot::capture(&inst, &nulls),
+                        &recv,
+                        &ProtocolCounters::default(),
+                    )
+                    .unwrap();
             }
         }
         store.sync().unwrap();
@@ -721,6 +751,26 @@ pub fn e17() -> Table {
         assert_eq!(rec.instance, inst, "recovery must reproduce the live state");
         assert_eq!(rec.nulls.invented(), nulls.invented());
         let rate = rec.wal_records_replayed as f64 / elapsed.as_secs_f64().max(1e-9);
+
+        // Rejoin cost at an analogous checkpoint cadence. The units
+        // differ deliberately and each gets its own column: the synthetic
+        // half checkpoints per *applied batch*, the crash half per
+        // *simulator event* of the doomed update (scaled down so every
+        // non-`never` row checkpoints at least once before the kill).
+        let victim_ckpt = (interval > 0).then_some((interval / 10).max(2));
+        let crash_dir = ScratchDir::new("e17-rejoin");
+        let s = codb_workload::Scenario {
+            tuples_per_node: 20,
+            ..codb_workload::Scenario::quick(codb_workload::Topology::Chain(4))
+        };
+        let plan = CrashRestartPlan {
+            recovered_initiates: true,
+            checkpoint_victim_every: victim_ckpt,
+            ..CrashRestartPlan::new(s, codb_core::NodeId(1))
+        };
+        let report = run_crash_restart(&plan, crash_dir.path()).unwrap();
+        assert!(report.recovered_exactly(), "E17 rejoin run must reconverge: {report:?}");
+
         t.row(vec![
             if interval == 0 { "never".to_owned() } else { interval.to_string() },
             generations.to_string(),
@@ -728,6 +778,8 @@ pub fn e17() -> Table {
             ms(elapsed),
             format!("{rate:.0}"),
             rec.instance.tuple_count().to_string(),
+            victim_ckpt.map_or("never".to_owned(), |e| e.to_string()),
+            report.rejoin_cost_messages().to_string(),
         ]);
     }
     t

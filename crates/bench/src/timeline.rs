@@ -88,7 +88,7 @@ mod tests {
     #[test]
     fn unknown_update_is_reported() {
         let report = NetworkReport::default();
-        let u = UpdateId { origin: codb_core::NodeId(0), seq: 9 };
+        let u = UpdateId { origin: codb_core::NodeId(0), epoch: 0, seq: 9 };
         assert!(render_timeline(&report, u, 20).contains("no node"));
     }
 

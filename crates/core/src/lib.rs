@@ -50,6 +50,7 @@ pub mod messages;
 pub mod network;
 pub mod node;
 pub mod query;
+pub mod rejoin;
 pub mod reliable;
 pub mod rules;
 pub mod stats;

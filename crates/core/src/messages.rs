@@ -79,6 +79,27 @@ pub enum Body {
         update: UpdateId,
     },
 
+    // ---- crash rejoin ----
+    /// A node restarted from its durable store announces its new
+    /// incarnation to an acquaintance. The receiver invalidates every
+    /// per-link incremental sent-cache pointed at the sender (the crashed
+    /// incarnation may have lost data those caches assume it holds), so
+    /// the next update falls back to one full re-send on those links and
+    /// then resumes incremental deltas.
+    Rejoin {
+        /// The sender's new incarnation epoch (explicit, so the handshake
+        /// survives relaying/inspection independent of the envelope).
+        epoch: u64,
+    },
+    /// Confirms a [`Body::Rejoin`]: the receiver has invalidated its
+    /// sent-caches toward the rejoined node for the given epoch. A stale
+    /// ack (from an earlier incarnation's handshake) carries the old epoch
+    /// and is ignored by the rejoined node.
+    RejoinAck {
+        /// The epoch being acknowledged.
+        epoch: u64,
+    },
+
     // ---- query-time answering (paper §1, §3) ----
     /// Ask an acquaintance to execute `rule`'s body on behalf of a query.
     /// `path` is the label of node ids the request has passed through; a
@@ -160,6 +181,7 @@ impl Body {
             Body::LinkClosed { .. } => 40,
             Body::DsAck { .. } => 32,
             Body::UpdateComplete { .. } => 32,
+            Body::Rejoin { .. } | Body::RejoinAck { .. } => 24,
             Body::QueryRequest { path, .. } => 48 + path.len() * 8,
             Body::QueryAnswer { firings, .. } => {
                 32 + firings.iter().map(RuleFiring::size_bytes).sum::<usize>()
@@ -211,6 +233,8 @@ impl Body {
             Body::LinkClosed { .. } => "link_closed",
             Body::DsAck { .. } => "ds_ack",
             Body::UpdateComplete { .. } => "update_complete",
+            Body::Rejoin { .. } => "rejoin",
+            Body::RejoinAck { .. } => "rejoin_ack",
             Body::QueryRequest { .. } => "query_request",
             Body::QueryAnswer { .. } => "query_answer",
             Body::RulesFile { .. } => "rules_file",
@@ -260,7 +284,7 @@ mod tests {
     use super::*;
 
     fn upd() -> UpdateId {
-        UpdateId { origin: NodeId(1), seq: 0 }
+        UpdateId { origin: NodeId(1), epoch: 0, seq: 0 }
     }
 
     #[test]
@@ -273,6 +297,8 @@ mod tests {
         assert!(!Body::UpdateComplete { update: upd() }.is_ds_counted());
         assert!(!Body::Ack { seq: 3 }.is_ds_counted());
         assert!(!Body::StatsRequest.is_ds_counted());
+        assert!(!Body::Rejoin { epoch: 1 }.is_ds_counted());
+        assert!(!Body::RejoinAck { epoch: 1 }.is_ds_counted());
     }
 
     #[test]

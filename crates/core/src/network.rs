@@ -149,8 +149,8 @@ impl CoDbNetwork {
 
     /// Starts a global update at `origin` and runs to quiescence.
     pub fn run_update(&mut self, origin: NodeId) -> UpdateOutcome {
-        let seq = self.node(origin).update_state_seq();
-        let update = UpdateId { origin, seq };
+        let node = self.node(origin);
+        let update = UpdateId { origin, epoch: node.epoch(), seq: node.update_state_seq() };
         let (m0, b0) = (self.sim.stats().sent, self.sim.stats().bytes_sent);
         self.run_control(origin, Body::StartUpdate);
         let stats = self.sim.stats();
@@ -172,8 +172,8 @@ impl CoDbNetwork {
     /// Starts a query-dependent (scoped) update at `origin`: only data
     /// feeding `relations` is materialised. Returns the outcome.
     pub fn run_scoped_update(&mut self, origin: NodeId, relations: Vec<String>) -> UpdateOutcome {
-        let seq = self.node(origin).update_state_seq();
-        let update = UpdateId { origin, seq };
+        let node = self.node(origin);
+        let update = UpdateId { origin, epoch: node.epoch(), seq: node.update_state_seq() };
         let (m0, b0) = (self.sim.stats().sent, self.sim.stats().bytes_sent);
         self.run_control(origin, Body::StartScopedUpdate { relations });
         let stats = self.sim.stats();
@@ -196,8 +196,8 @@ impl CoDbNetwork {
         query: ConjunctiveQuery,
         fetch: bool,
     ) -> QueryOutcome {
-        let seq = self.node(node).query_seq();
-        let query_id = QueryId { origin: node, seq };
+        let n = self.node(node);
+        let query_id = QueryId { origin: node, epoch: n.epoch(), seq: n.query_seq() };
         let (m0, b0) = (self.sim.stats().sent, self.sim.stats().bytes_sent);
         let t0 = self.sim.now();
         self.run_control(node, Body::StartQuery { query: Box::new(query), fetch });
@@ -336,12 +336,17 @@ impl CoDbNetwork {
 
     /// Restarts a crashed (or departed) node from its data directory: the
     /// node is rebuilt from the configuration *without* seed data, its
-    /// state recovered from disk (snapshot + WAL replay), and re-added to
-    /// the network (start events — pipe opening, advertisement — run
-    /// before this returns). The restarted node's protocol sequence
-    /// numbers start fresh, so recovered nodes should rejoin as responders
-    /// and leave update initiation to live nodes. Returns the recovery
-    /// summary (generation, WAL records replayed, torn-tail flag, epoch).
+    /// state recovered from disk (snapshot + WAL replay, including the
+    /// protocol counters), and re-added to the network. Start events run
+    /// before this returns — pipe opening, advertisement, and the crash
+    /// rejoin handshake ([`crate::rejoin`]): the node announces its new
+    /// incarnation epoch and every neighbor invalidates the incremental
+    /// sent-caches pointed at it. A restarted node is a first-class peer
+    /// again — it may initiate updates and queries (its persisted
+    /// counters resume the id space, and `(epoch, seq)`-keyed ids cannot
+    /// collide with the dead incarnation's even if the counters were
+    /// lost). Returns the recovery summary (generation, WAL records
+    /// replayed, torn-tail flag, epoch).
     ///
     /// # Panics
     ///

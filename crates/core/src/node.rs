@@ -88,6 +88,15 @@ pub struct CoDbNode {
     /// Peers discovered on the advertisement board (Figure 3 of the
     /// paper: "which other nodes (not acquaintances) it has discovered").
     pub discovered: std::collections::BTreeSet<NodeId>,
+    // ---- crash rejoin (see crate::rejoin) ----
+    /// Set when this node recovered from disk and has not yet announced
+    /// its new incarnation; cleared once the `Rejoin` round is posted.
+    pub(crate) pending_rejoin: bool,
+    /// Highest rejoin epoch processed per peer (duplicate/stale `Rejoin`
+    /// suppression).
+    pub(crate) rejoin_epochs: BTreeMap<NodeId, u64>,
+    /// Acquaintances that acked this incarnation's `Rejoin`.
+    pub(crate) rejoin_acks: std::collections::BTreeSet<NodeId>,
     // ---- statistics module ----
     pub(crate) report: NodeReport,
     // ---- super-peer role ----
@@ -141,6 +150,9 @@ impl CoDbNode {
             nested_parent: BTreeMap::new(),
             completed_queries: BTreeMap::new(),
             discovered: std::collections::BTreeSet::new(),
+            pending_rejoin: false,
+            rejoin_epochs: BTreeMap::new(),
+            rejoin_acks: std::collections::BTreeSet::new(),
             report: NodeReport::new(id),
             superpeer_config: None,
             collected: NetworkReport::default(),
@@ -198,6 +210,13 @@ impl CoDbNode {
         codb_relational::Snapshot::capture(&self.ldb, &self.nulls)
     }
 
+    /// Marked nulls this node's factory has invented so far (a cheap read
+    /// — comparing factory counters does not require capturing a
+    /// snapshot).
+    pub fn nulls_invented(&self) -> u64 {
+        self.nulls.invented()
+    }
+
     /// Restores a snapshot, replacing the LDB and null-factory state.
     /// Does **not** touch an attached store; use [`CoDbNode::open_persistence`]
     /// for disk-backed recovery.
@@ -208,11 +227,20 @@ impl CoDbNode {
 
     /// Opens durable persistence rooted at `dir`: recovers existing state
     /// (latest valid snapshot + WAL-tail replay, including the
-    /// receiver-side dedup caches) when the directory holds a store,
-    /// otherwise initialises a fresh store from the node's current state.
-    /// From then on every applied update delta and local insert is
-    /// WAL-logged. Returns `Some(stats)` when state was recovered from
-    /// disk, `None` when a fresh store was initialised.
+    /// receiver-side dedup caches and the protocol counters) when the
+    /// directory holds a store, otherwise initialises a fresh store from
+    /// the node's current state. From then on every applied update delta,
+    /// local insert and id-counter bump is WAL-logged. Returns
+    /// `Some(stats)` when state was recovered from disk, `None` when a
+    /// fresh store was initialised.
+    ///
+    /// A recovery marks the node rejoin-pending: the `Rejoin`
+    /// announcement ([`crate::rejoin`]) is posted on the node's next
+    /// start — or, when persistence is opened on an already-started
+    /// network, on its next event of any kind. Neighbors invalidate their
+    /// incremental sent-caches toward this node only once that
+    /// announcement is processed, so an update racing the handshake may
+    /// need one follow-up update to fully reconverge.
     pub fn open_persistence(
         &mut self,
         dir: &std::path::Path,
@@ -224,14 +252,28 @@ impl CoDbNode {
             self.ldb = recovered.instance;
             self.nulls = recovered.nulls;
             self.recv_cache = recovered.recv_cache;
+            // Resume (not restart) the protocol id space: the persisted
+            // counters pick up where the dead incarnation stopped, so a
+            // recovered node can initiate updates and queries again.
+            self.next_update_seq = recovered.counters.update_seq;
+            self.next_query_seq = recovered.counters.query_seq;
+            self.next_req_seq = recovered.counters.req_seq;
             // New incarnation: stamp a higher epoch on outgoing envelopes
             // so peers reset their per-sender duplicate state (this node's
-            // transport sequence numbers start over).
+            // transport sequence numbers start over), and announce the
+            // incarnation to acquaintances on start (crate::rejoin).
             self.reliable.set_epoch(recovered.epoch);
+            self.pending_rejoin = true;
             self.persist = Some(store);
             Ok(Some(stats))
         } else {
-            let store = codb_store::Store::create(dir, &self.snapshot(), &self.recv_cache, policy)?;
+            let store = codb_store::Store::create(
+                dir,
+                &self.snapshot(),
+                &self.recv_cache,
+                &self.counters(),
+                policy,
+            )?;
             self.persist = Some(store);
             Ok(None)
         }
@@ -252,12 +294,40 @@ impl CoDbNode {
     /// compacts the WAL. Returns `false` when no store is attached.
     pub fn checkpoint(&mut self) -> Result<bool, codb_store::StoreError> {
         let snap = self.snapshot();
+        let counters = self.counters();
         match &mut self.persist {
             Some(store) => {
-                store.checkpoint(&snap, &self.recv_cache)?;
+                store.checkpoint(&snap, &self.recv_cache, &counters)?;
                 Ok(true)
             }
             None => Ok(false),
+        }
+    }
+
+    /// This node's incarnation epoch, as stamped on its envelopes and
+    /// minted into its update/query ids (0 until a store recovery bumps
+    /// it).
+    pub fn epoch(&self) -> u64 {
+        self.reliable.epoch()
+    }
+
+    /// The protocol counters as a durable record (each field is the next
+    /// value to hand out).
+    pub(crate) fn counters(&self) -> codb_store::ProtocolCounters {
+        codb_store::ProtocolCounters {
+            update_seq: self.next_update_seq,
+            query_seq: self.next_query_seq,
+            req_seq: self.next_req_seq,
+        }
+    }
+
+    /// WAL-logs the current protocol counters (called after every id
+    /// mint, so a recovered node resumes its id space; cheap — id mints
+    /// are rare next to data traffic).
+    pub(crate) fn log_counters(&mut self) {
+        if self.persist.is_some() {
+            let record = codb_store::WalRecord::Counters { counters: self.counters() };
+            self.log_wal(record);
         }
     }
 
@@ -358,9 +428,16 @@ impl Peer<Envelope> for CoDbNode {
             }
         }
         self.open_acquaintance_pipes(ctx);
+        // A recovered node's first act is to announce its new incarnation
+        // so neighbors drop the sent-caches pointed at its dead life.
+        self.announce_rejoin(ctx);
     }
 
     fn on_message(&mut self, ctx: &mut Context<Envelope>, from: PeerId, env: Envelope) {
+        // A node recovered *after* its start event (persistence opened on
+        // a live network) still owes the handshake: announce on its next
+        // activity of any kind. No-op when nothing is pending.
+        self.announce_rejoin(ctx);
         let from = NodeId::from(from);
         self.report.count_received(env.body.kind());
 
@@ -392,6 +469,9 @@ impl Peer<Envelope> for CoDbNode {
             | Body::LinkClosed { .. } => self.dispatch_ds(ctx, from, env.body),
             Body::DsAck { update, credits } => self.handle_ds_ack(ctx, update, credits),
             Body::UpdateComplete { update } => self.handle_update_complete(ctx, from, update),
+            // ---- crash rejoin (crate::rejoin) ----
+            Body::Rejoin { epoch } => self.handle_rejoin(ctx, from, epoch),
+            Body::RejoinAck { epoch } => self.handle_rejoin_ack(from, epoch),
             // ---- query protocol (crate::query) ----
             Body::QueryRequest { req, rule, path } => {
                 self.handle_query_request(ctx, from, req, rule, path)
@@ -419,6 +499,7 @@ impl Peer<Envelope> for CoDbNode {
     }
 
     fn on_timer(&mut self, ctx: &mut Context<Envelope>, timer: u64) {
+        self.announce_rejoin(ctx);
         if timer == TIMER_RETRANSMIT {
             self.retransmit_armed = false;
             let (resend, abandoned) = self.reliable.retransmission_round();

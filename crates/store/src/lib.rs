@@ -21,9 +21,14 @@
 //! ```
 //!
 //! `codb.epoch` counts the store's incarnations: every [`Store::open`]
-//! bumps it, and a recovered node stamps it on its envelopes so peers can
+//! bumps it, and a recovered node stamps it on its envelopes **and mints
+//! it into its update/query ids** (`(origin, epoch, seq)`), so peers can
 //! tell a restarted node (whose transport sequence numbers start over)
-//! from a duplicate-sending one.
+//! from a duplicate-sending one, and a rejoined initiator's ids cannot
+//! collide with its dead incarnation's. The epoch also drives the crash
+//! rejoin handshake (`codb_core::rejoin`): the recovered node announces
+//! it to every acquaintance, which invalidates the incremental
+//! sent-caches pointed at the node.
 //!
 //! Both file kinds share one *frame* layout (see [`frame`]):
 //!
@@ -37,11 +42,20 @@
 //! 8-byte magic (`CODBSNP1`) followed by exactly one frame whose payload is
 //! a [`codb_relational::Snapshot`] (JSON, version-checked via
 //! `SNAPSHOT_VERSION`). A `.wal` file is an 8-byte magic (`CODBWAL1`)
-//! followed by any number of frames, each a JSON [`WalRecord`]. The first
-//! record of every WAL is a [`WalRecord::Caches`] checkpoint of the node's
-//! receiver-side dedup caches, so a recovered node never re-instantiates
-//! existential templates it has already materialised (which would silently
-//! duplicate GLAV data under fresh nulls).
+//! followed by any number of frames, each a JSON [`WalRecord`]. Every WAL
+//! opens with two checkpoint records:
+//!
+//! 1. a [`WalRecord::Caches`] checkpoint of the node's receiver-side
+//!    dedup caches, so a recovered node never re-instantiates existential
+//!    templates it has already materialised (which would silently
+//!    duplicate GLAV data under fresh nulls); and
+//! 2. a [`WalRecord::Counters`] checkpoint of the protocol counters
+//!    ([`ProtocolCounters`]: next update / query / fetch sequence
+//!    numbers). The node re-appends a `Counters` record every time it
+//!    mints an id, and replay keeps the **last** one, so a recovered node
+//!    *resumes* its id space rather than restarting it at zero — the
+//!    counter half of the crash-rejoin guarantee (the `(epoch, seq)` id
+//!    keying is the other half: even a lost counter cannot collide).
 //!
 //! ## Compaction rules
 //!
@@ -72,4 +86,4 @@ pub mod wal;
 pub use crate::store::{RecoveredState, RecoveryStats, Store, StoreError};
 pub use frame::{crc32, SNAP_MAGIC, WAL_MAGIC};
 pub use scratch::ScratchDir;
-pub use wal::{RecvCaches, SyncPolicy, WalRecord};
+pub use wal::{ProtocolCounters, RecvCaches, SyncPolicy, WalRecord};

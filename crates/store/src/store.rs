@@ -4,7 +4,7 @@
 //! See the crate docs for the on-disk format and the compaction rules.
 
 use crate::frame::{encode_frame, FrameScanner, FrameStep, SNAP_MAGIC};
-use crate::wal::{read_wal, RecvCaches, SyncPolicy, WalRecord, WalWriter};
+use crate::wal::{read_wal, ProtocolCounters, RecvCaches, SyncPolicy, WalRecord, WalWriter};
 use codb_relational::{apply_firings, Instance, NullFactory, Snapshot, SnapshotError};
 use std::fmt;
 use std::io::Write as _;
@@ -139,6 +139,9 @@ pub struct RecoveredState {
     /// Receiver-side dedup caches (from the WAL's cache checkpoint plus
     /// replayed applies).
     pub recv_cache: RecvCaches,
+    /// Protocol counters as of the last [`WalRecord::Counters`] record —
+    /// the id space the recovered node resumes (never restarts) from.
+    pub counters: ProtocolCounters,
     /// Snapshot generation the recovery started from.
     pub generation: u64,
     /// WAL records replayed on top of the snapshot.
@@ -270,11 +273,13 @@ impl Store {
 
     /// Initialises a fresh store at `dir` (created if missing) from the
     /// given state: writes the generation-0 snapshot and an empty WAL
-    /// headed by a cache checkpoint. Refuses to clobber an existing store.
+    /// headed by a cache checkpoint plus a protocol-counter checkpoint.
+    /// Refuses to clobber an existing store.
     pub fn create(
         dir: &Path,
         snapshot: &Snapshot,
         recv: &RecvCaches,
+        counters: &ProtocolCounters,
         policy: SyncPolicy,
     ) -> Result<Store, StoreError> {
         std::fs::create_dir_all(dir).map_err(|e| StoreError::io(dir, e))?;
@@ -283,6 +288,7 @@ impl Store {
         }
         let mut writer = WalWriter::create(&wal_path(dir, 0), policy)?;
         writer.append(&WalRecord::Caches { recv: recv.clone() })?;
+        writer.append(&WalRecord::Counters { counters: *counters })?;
         writer.sync()?;
         // Epoch before the snapshot: the snapshot rename is the commit
         // point of creation (`exists` keys on it), so a committed store
@@ -347,10 +353,12 @@ impl Store {
         let mut instance = snapshot.instance;
         let mut nulls = snapshot.nulls;
         let mut recv_cache = RecvCaches::new();
+        let mut counters = ProtocolCounters::default();
         let replayed = records.len() as u64;
         for record in records {
             match record {
                 WalRecord::Caches { recv } => recv_cache = recv,
+                WalRecord::Counters { counters: c } => counters = c,
                 WalRecord::Applied { rule, firings } => {
                     let cache = recv_cache.entry(rule).or_default();
                     let fresh: Vec<_> =
@@ -381,6 +389,7 @@ impl Store {
                 instance,
                 nulls,
                 recv_cache,
+                counters,
                 generation,
                 wal_records_replayed: replayed,
                 torn_tail,
@@ -399,10 +408,16 @@ impl Store {
     }
 
     /// Checkpoint: writes the next-generation snapshot of `snapshot`,
-    /// rotates to a fresh WAL headed by a checkpoint of `recv`, and
-    /// compacts (deletes) the previous generation. On return, recovery
-    /// cost is O(new snapshot) regardless of history length.
-    pub fn checkpoint(&mut self, snapshot: &Snapshot, recv: &RecvCaches) -> Result<(), StoreError> {
+    /// rotates to a fresh WAL headed by checkpoints of `recv` and
+    /// `counters`, and compacts (deletes) the previous generation. On
+    /// return, recovery cost is O(new snapshot) regardless of history
+    /// length.
+    pub fn checkpoint(
+        &mut self,
+        snapshot: &Snapshot,
+        recv: &RecvCaches,
+        counters: &ProtocolCounters,
+    ) -> Result<(), StoreError> {
         let next = self.generation + 1;
         // Order matters for crash safety: (1) the fresh WAL with its cache
         // checkpoint, (2) the snapshot rename as the commit point, (3) the
@@ -410,6 +425,7 @@ impl Store {
         // at least one complete generation.
         let mut writer = WalWriter::create(&wal_path(&self.dir, next), self.policy)?;
         writer.append(&WalRecord::Caches { recv: recv.clone() })?;
+        writer.append(&WalRecord::Counters { counters: *counters })?;
         writer.sync()?;
         sync_dir(&self.dir)?;
         write_snapshot_file(&snap_path(&self.dir, next), snapshot)?;
@@ -514,9 +530,14 @@ mod tests {
         let dir = ScratchDir::new("store-rt");
         let (mut inst, mut nulls) = seed();
         let mut recv = RecvCaches::new();
-        let mut store =
-            Store::create(dir.path(), &Snapshot::capture(&inst, &nulls), &recv, SyncPolicy::Always)
-                .unwrap();
+        let mut store = Store::create(
+            dir.path(),
+            &Snapshot::capture(&inst, &nulls),
+            &recv,
+            &ProtocolCounters::default(),
+            SyncPolicy::Always,
+        )
+        .unwrap();
         for k in 0..5 {
             apply_live(&mut store, &mut inst, &mut nulls, &mut recv, "e0", vec![firing(k)]);
         }
@@ -531,7 +552,7 @@ mod tests {
         assert_eq!(rec.nulls.invented(), nulls.invented());
         assert_eq!(rec.recv_cache, recv);
         assert_eq!(rec.generation, 0);
-        assert_eq!(rec.wal_records_replayed, 7); // caches + 5 applies + 1 local
+        assert_eq!(rec.wal_records_replayed, 8); // caches + counters + 5 applies + 1 local
         assert!(!rec.torn_tail);
         assert_eq!(reopened.generation(), 0);
     }
@@ -541,15 +562,22 @@ mod tests {
         let dir = ScratchDir::new("store-ckpt");
         let (mut inst, mut nulls) = seed();
         let mut recv = RecvCaches::new();
-        let mut store =
-            Store::create(dir.path(), &Snapshot::capture(&inst, &nulls), &recv, SyncPolicy::Always)
-                .unwrap();
+        let mut store = Store::create(
+            dir.path(),
+            &Snapshot::capture(&inst, &nulls),
+            &recv,
+            &ProtocolCounters::default(),
+            SyncPolicy::Always,
+        )
+        .unwrap();
         for k in 0..10 {
             apply_live(&mut store, &mut inst, &mut nulls, &mut recv, "e0", vec![firing(k)]);
         }
-        store.checkpoint(&Snapshot::capture(&inst, &nulls), &recv).unwrap();
+        store
+            .checkpoint(&Snapshot::capture(&inst, &nulls), &recv, &ProtocolCounters::default())
+            .unwrap();
         assert_eq!(store.generation(), 1);
-        assert_eq!(store.wal_records(), 1, "fresh WAL holds only the cache checkpoint");
+        assert_eq!(store.wal_records(), 2, "fresh WAL holds only the cache + counter checkpoints");
         // The old generation is gone.
         let names: Vec<String> = std::fs::read_dir(dir.path())
             .unwrap()
@@ -563,7 +591,38 @@ mod tests {
         assert_eq!(rec.instance, inst);
         assert_eq!(rec.recv_cache, recv, "caches survive compaction");
         assert_eq!(rec.generation, 1);
-        assert_eq!(rec.wal_records_replayed, 1);
+        assert_eq!(rec.wal_records_replayed, 2);
+    }
+
+    #[test]
+    fn counters_resume_not_restart() {
+        // A recovered node must resume its id space: the last Counters
+        // record wins, through both WAL replay and snapshot compaction.
+        let dir = ScratchDir::new("store-counters");
+        let (inst, nulls) = seed();
+        let c0 = ProtocolCounters { update_seq: 3, query_seq: 1, req_seq: 9 };
+        let mut store = Store::create(
+            dir.path(),
+            &Snapshot::capture(&inst, &nulls),
+            &RecvCaches::new(),
+            &c0,
+            SyncPolicy::Always,
+        )
+        .unwrap();
+        // Counter bumps are appended live, like the node does on minting.
+        let c1 = ProtocolCounters { update_seq: 4, ..c0 };
+        store.append(&WalRecord::Counters { counters: c1 }).unwrap();
+        let c2 = ProtocolCounters { update_seq: 5, query_seq: 2, ..c1 };
+        store.append(&WalRecord::Counters { counters: c2 }).unwrap();
+        drop(store);
+        let (mut store, rec) = Store::open(dir.path(), SyncPolicy::Always).unwrap();
+        assert_eq!(rec.counters, c2, "last counter record wins");
+        // Compaction carries the counters into the rotated WAL head.
+        store.checkpoint(&Snapshot::capture(&inst, &nulls), &RecvCaches::new(), &c2).unwrap();
+        drop(store);
+        let (_, rec) = Store::open(dir.path(), SyncPolicy::Always).unwrap();
+        assert_eq!(rec.counters, c2, "counters survive compaction");
+        assert_eq!(rec.wal_records_replayed, 2);
     }
 
     #[test]
@@ -572,9 +631,22 @@ mod tests {
         let (inst, nulls) = seed();
         let snap = Snapshot::capture(&inst, &nulls);
         let recv = RecvCaches::new();
-        let _s = Store::create(dir.path(), &snap, &recv, SyncPolicy::Always).unwrap();
+        let _s = Store::create(
+            dir.path(),
+            &snap,
+            &recv,
+            &ProtocolCounters::default(),
+            SyncPolicy::Always,
+        )
+        .unwrap();
         assert!(matches!(
-            Store::create(dir.path(), &snap, &recv, SyncPolicy::Always),
+            Store::create(
+                dir.path(),
+                &snap,
+                &recv,
+                &ProtocolCounters::default(),
+                SyncPolicy::Always
+            ),
             Err(StoreError::AlreadyExists { .. })
         ));
     }
@@ -594,9 +666,14 @@ mod tests {
         let dir = ScratchDir::new("store-torn");
         let (mut inst, mut nulls) = seed();
         let mut recv = RecvCaches::new();
-        let mut store =
-            Store::create(dir.path(), &Snapshot::capture(&inst, &nulls), &recv, SyncPolicy::Always)
-                .unwrap();
+        let mut store = Store::create(
+            dir.path(),
+            &Snapshot::capture(&inst, &nulls),
+            &recv,
+            &ProtocolCounters::default(),
+            SyncPolicy::Always,
+        )
+        .unwrap();
         apply_live(&mut store, &mut inst, &mut nulls, &mut recv, "e0", vec![firing(1)]);
         apply_live(&mut store, &mut inst, &mut nulls, &mut recv, "e0", vec![firing(2)]);
         drop(store);
@@ -607,7 +684,7 @@ mod tests {
 
         let (store, rec) = Store::open(dir.path(), SyncPolicy::Always).unwrap();
         assert!(rec.torn_tail);
-        assert_eq!(rec.wal_records_replayed, 2); // caches + first apply
+        assert_eq!(rec.wal_records_replayed, 3); // caches + counters + first apply
         assert_eq!(rec.instance.tuple_count(), 2); // seed + firing(1)
                                                    // The truncated log accepts appends again.
         drop(store);
@@ -623,10 +700,17 @@ mod tests {
             dir.path(),
             &Snapshot::capture(&inst, &nulls),
             &RecvCaches::new(),
+            &ProtocolCounters::default(),
             SyncPolicy::Always,
         )
         .unwrap();
-        store.checkpoint(&Snapshot::capture(&inst, &nulls), &RecvCaches::new()).unwrap();
+        store
+            .checkpoint(
+                &Snapshot::capture(&inst, &nulls),
+                &RecvCaches::new(),
+                &ProtocolCounters::default(),
+            )
+            .unwrap();
         drop(store);
         // Flip a byte inside the only snapshot: open must fail loudly.
         let snap = snap_path(dir.path(), 1);
@@ -670,6 +754,7 @@ mod tests {
             dir.path(),
             &Snapshot::capture(&inst, &nulls),
             &RecvCaches::new(),
+            &ProtocolCounters::default(),
             SyncPolicy::Always,
         )
         .unwrap();
@@ -694,6 +779,7 @@ mod tests {
             dir.path(),
             &Snapshot::capture(&inst, &nulls),
             &RecvCaches::new(),
+            &ProtocolCounters::default(),
             SyncPolicy::Always,
         )
         .unwrap();
@@ -722,9 +808,14 @@ mod tests {
         let dir = ScratchDir::new("store-interrupted");
         let (mut inst, mut nulls) = seed();
         let mut recv = RecvCaches::new();
-        let mut store =
-            Store::create(dir.path(), &Snapshot::capture(&inst, &nulls), &recv, SyncPolicy::Always)
-                .unwrap();
+        let mut store = Store::create(
+            dir.path(),
+            &Snapshot::capture(&inst, &nulls),
+            &recv,
+            &ProtocolCounters::default(),
+            SyncPolicy::Always,
+        )
+        .unwrap();
         apply_live(&mut store, &mut inst, &mut nulls, &mut recv, "e0", vec![firing(5)]);
         drop(store);
         // Simulate a crash between WAL creation and the snapshot rename:

@@ -20,6 +20,21 @@ use std::path::{Path, PathBuf};
 /// (`rule name → firing templates already materialised`).
 pub type RecvCaches = BTreeMap<String, BTreeSet<RuleFiring>>;
 
+/// Durable protocol counters: the per-node sequence numbers that make
+/// update/query/fetch identifiers unique. Persisted so a recovered node
+/// *resumes* its id space instead of restarting it at zero (which would
+/// make a rejoined initiator mint colliding ids). Each value is the *next*
+/// sequence number to hand out.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProtocolCounters {
+    /// Next global-update sequence number (`UpdateId` minting).
+    pub update_seq: u64,
+    /// Next user-query sequence number.
+    pub query_seq: u64,
+    /// Next query-time fetch-request sequence number.
+    pub req_seq: u64,
+}
+
 /// One WAL record.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum WalRecord {
@@ -29,6 +44,15 @@ pub enum WalRecord {
     Caches {
         /// The caches at rotation time.
         recv: RecvCaches,
+    },
+    /// Checkpoint of the protocol counters — written right after
+    /// [`WalRecord::Caches`] at create/checkpoint time and re-appended by
+    /// the node whenever it mints a new update/query id, so recovery
+    /// resumes the id space exactly where the crashed incarnation left it
+    /// (replay keeps the *last* such record).
+    Counters {
+        /// The counters; each field is the next value to hand out.
+        counters: ProtocolCounters,
     },
     /// A batch of rule firings applied from network data on outgoing link
     /// `rule` (already filtered against the receive cache at apply time).

@@ -8,7 +8,9 @@ use codb_relational::{
     Instance, NullFactory, NullId, RelationSchema, RuleFiring, Snapshot, Tuple, Value, ValueType,
 };
 use codb_store::wal::{read_wal, WalWriter};
-use codb_store::{RecvCaches, ScratchDir, Store, StoreError, SyncPolicy, WalRecord};
+use codb_store::{
+    ProtocolCounters, RecvCaches, ScratchDir, Store, StoreError, SyncPolicy, WalRecord,
+};
 use proptest::prelude::*;
 
 fn cases(default: u32) -> u32 {
@@ -46,9 +48,16 @@ fn arb_caches() -> impl Strategy<Value = RecvCaches> {
     )
 }
 
+fn arb_counters() -> impl Strategy<Value = ProtocolCounters> {
+    (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(update_seq, query_seq, req_seq)| {
+        ProtocolCounters { update_seq, query_seq, req_seq }
+    })
+}
+
 fn arb_record() -> impl Strategy<Value = WalRecord> {
     prop_oneof![
         arb_caches().prop_map(|recv| WalRecord::Caches { recv }),
+        arb_counters().prop_map(|counters| WalRecord::Counters { counters }),
         (arb_name(), proptest::collection::vec(arb_firing(), 1..4))
             .prop_map(|(rule, firings)| WalRecord::Applied { rule, firings }),
         (arb_name(), proptest::collection::vec(arb_value(), 1..4)).prop_map(
@@ -108,6 +117,7 @@ proptest! {
             dir.path(),
             &Snapshot::capture(&inst, &nulls),
             &recv,
+            &ProtocolCounters::default(),
             SyncPolicy::Never,
         )
         .unwrap();
@@ -116,6 +126,47 @@ proptest! {
         prop_assert_eq!(rec.instance, inst);
         prop_assert_eq!(rec.nulls.invented(), nulls.invented());
         prop_assert_eq!(rec.recv_cache, recv);
+    }
+
+    /// Protocol-counter records round-trip through live WAL appends, WAL
+    /// replay, and snapshot compaction: whatever sequence of counter bumps
+    /// the node logged, recovery resumes from the *last* one — the
+    /// guarantee that stops a rejoined initiator from minting colliding
+    /// update/query ids.
+    #[test]
+    fn counters_round_trip_through_replay_and_compaction(
+        seed in arb_counters(),
+        bumps in proptest::collection::vec(arb_counters(), 0..8),
+        checkpoint_at in 0usize..9,
+    ) {
+        let dir = ScratchDir::new("prop-counters");
+        let (inst, nulls) = instance_with(&[(1, 2)], false);
+        let snap = Snapshot::capture(&inst, &nulls);
+        let mut store = Store::create(
+            dir.path(),
+            &snap,
+            &RecvCaches::new(),
+            &seed,
+            SyncPolicy::Never,
+        )
+        .unwrap();
+        let mut live = seed;
+        for (i, c) in bumps.iter().enumerate() {
+            store.append(&WalRecord::Counters { counters: *c }).unwrap();
+            live = *c;
+            if i + 1 == checkpoint_at {
+                // Mid-sequence compaction must carry the counters across.
+                store.checkpoint(&snap, &RecvCaches::new(), &live).unwrap();
+            }
+        }
+        store.sync().unwrap();
+        drop(store);
+        let (_s, rec) = Store::open(dir.path(), SyncPolicy::Never).unwrap();
+        prop_assert_eq!(rec.counters, live, "recovery resumes from the last counter record");
+        // A second open (after the incarnation bump) still agrees.
+        let (_s2, rec2) = Store::open(dir.path(), SyncPolicy::Never).unwrap();
+        prop_assert_eq!(rec2.counters, live);
+        prop_assert!(rec2.epoch > rec.epoch, "every open is a new incarnation");
     }
 
     /// Truncating the WAL at any point recovers cleanly: the surviving
@@ -203,6 +254,7 @@ fn snapshot_bit_flip_is_checksum_error() {
         dir.path(),
         &Snapshot::capture(&inst, &nulls),
         &RecvCaches::new(),
+        &ProtocolCounters::default(),
         SyncPolicy::Never,
     )
     .unwrap();

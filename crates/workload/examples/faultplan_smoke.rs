@@ -1,0 +1,57 @@
+//! Fixed-seed fault-injection smoke run for CI.
+//!
+//! Executes a handful of seeded crash/restart/checkpoint/loss schedules
+//! (with `incremental_updates: true` — the crash-rejoin handshake's
+//! cache-invalidation path) and fails loudly if any recovered network
+//! does not reconverge to its never-crashed control.
+//!
+//! Usage: `cargo run -p codb-workload --example faultplan_smoke [seed...]`
+//! (defaults to seeds 1, 2, 3 over a chain, a ring and a star).
+
+use codb_store::ScratchDir;
+use codb_workload::{run_fault_plan, FaultPlan, RuleStyle, Scenario, Topology};
+
+fn main() {
+    let seeds: Vec<u64> = std::env::args()
+        .skip(1)
+        .map(|a| a.parse().unwrap_or_else(|_| panic!("not a seed: {a:?}")))
+        .collect();
+    let seeds = if seeds.is_empty() { vec![1, 2, 3] } else { seeds };
+    let scenarios = [
+        Scenario { tuples_per_node: 10, ..Scenario::quick(Topology::Chain(4)) },
+        Scenario { tuples_per_node: 8, ..Scenario::quick(Topology::Ring(4)) },
+        Scenario {
+            tuples_per_node: 8,
+            rule_style: RuleStyle::ProjectGlav,
+            ..Scenario::quick(Topology::Star { leaves: 3 })
+        },
+    ];
+    let mut failures = 0;
+    for scenario in &scenarios {
+        for &seed in &seeds {
+            let plan = FaultPlan::generate(*scenario, seed);
+            let tmp = ScratchDir::new("faultplan-smoke");
+            let report = run_fault_plan(&plan, tmp.path()).expect("store i/o on a scratch dir");
+            println!(
+                "seed {seed:>3} {:<22} rounds={} crashes={} checkpoints={} loss={:.2} \
+                 rejoin_msgs={:>3} converged={}",
+                format!("{:?}", scenario.topology),
+                report.rounds,
+                report.crashes,
+                report.checkpoints,
+                plan.loss,
+                report.rejoin_messages,
+                report.converged,
+            );
+            if !report.converged {
+                eprintln!("FAILED: replay with FaultPlan::generate({:?}, {seed})", scenario);
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} schedule(s) failed to reconverge");
+        std::process::exit(1);
+    }
+    println!("all schedules reconverged");
+}

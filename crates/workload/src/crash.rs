@@ -12,20 +12,28 @@
 //!    simulator events (dropping all in-memory state), and the survivors
 //!    run to quiescence — the update completes without the victim (the
 //!    documented crash semantics).
-//! 3. The victim is restarted from disk (snapshot + WAL-tail replay) and a
-//!    follow-up update reconverges the network.
+//! 3. The victim is restarted from disk (snapshot + WAL-tail replay,
+//!    protocol counters included) and rejoins as a **first-class peer**:
+//!    its `Rejoin` announcement makes every neighbor invalidate the
+//!    incremental sent-caches pointed at it (`codb_core::rejoin`), and a
+//!    follow-up update — initiated by the *recovered node itself* when
+//!    [`CrashRestartPlan::recovered_initiates`] is set — reconverges the
+//!    network.
 //! 4. States are compared: strict instance equality, null-factory counter
 //!    equality, and instance isomorphism (equality up to renaming of
 //!    marked nulls — the right notion when GLAV rules invent nulls, whose
 //!    labels depend on apply order).
 //!
-//! Both networks run with `incremental_updates: false`: sender-side firing
-//! caches assume receivers never forget, which is exactly what a crash
-//! violates — a recovered receiver is repaired by a full re-send, with its
-//! recovered receive caches suppressing everything it already holds.
+//! Scenarios run with `incremental_updates: true` by default: the rejoin
+//! handshake repairs the one assumption a crash breaks (sender caches
+//! presume receivers never forget) by falling back to a single full
+//! re-send toward the rejoined node, after which incremental deltas
+//! resume. Set [`CrashRestartPlan::incremental_updates`] to `false` to
+//! reproduce the pre-handshake behaviour (every update re-ships
+//! everything).
 
 use crate::scenario::Scenario;
-use codb_core::{Body, CoDbNetwork, Envelope, NodeId, NodeSettings, HARNESS_PEER};
+use codb_core::{Body, CoDbNetwork, Envelope, NodeId, NodeSettings, UpdateId, HARNESS_PEER};
 use codb_net::SimConfig;
 use codb_store::SyncPolicy;
 use std::path::Path;
@@ -35,21 +43,44 @@ use std::path::Path;
 pub struct CrashRestartPlan {
     /// The workload (topology, rules, data).
     pub scenario: Scenario,
-    /// The node to kill. Must not be the update initiator (the scenario
-    /// sink): a restarted node's protocol sequence numbers start fresh, so
-    /// recovered nodes rejoin as responders.
+    /// The node to kill. May be the update initiator (the scenario sink):
+    /// recovered nodes resume their persisted protocol counters and mint
+    /// `(epoch, seq)`-keyed ids, so a rejoined initiator cannot collide
+    /// with its dead incarnation.
     pub victim: NodeId,
     /// Kill after this many simulator events of the first update; `None`
     /// kills one third of the way through (calibrated on the control run).
     pub kill_after_events: Option<u64>,
     /// WAL durability policy for the victim's store.
     pub sync: SyncPolicy,
+    /// Keep sender-side firing caches across updates (the E15 ablation
+    /// axis). The default `true` exercises the rejoin handshake's
+    /// cache-invalidation path; `false` repairs by full re-send on every
+    /// update.
+    pub incremental_updates: bool,
+    /// Have the *recovered victim* initiate the post-restart
+    /// reconvergence update (the rejoin-as-initiator scenario). With
+    /// `false` the scenario sink initiates, as before.
+    pub recovered_initiates: bool,
+    /// Checkpoint the victim's store (snapshot + WAL rotation) every this
+    /// many simulator events while it lives — exercises recovery from a
+    /// compacted store and bounds WAL replay at restart.
+    pub checkpoint_victim_every: Option<u64>,
 }
 
 impl CrashRestartPlan {
-    /// A plan with auto-calibrated kill point and full durability.
+    /// A plan with auto-calibrated kill point, full durability,
+    /// incremental updates on, and the sink initiating throughout.
     pub fn new(scenario: Scenario, victim: NodeId) -> Self {
-        CrashRestartPlan { scenario, victim, kill_after_events: None, sync: SyncPolicy::Always }
+        CrashRestartPlan {
+            scenario,
+            victim,
+            kill_after_events: None,
+            sync: SyncPolicy::Always,
+            incremental_updates: true,
+            recovered_initiates: false,
+            checkpoint_victim_every: None,
+        }
     }
 }
 
@@ -69,6 +100,24 @@ pub struct CrashRestartReport {
     pub recovered_generation: u64,
     /// True when recovery found (and truncated) a torn final frame.
     pub torn_tail: bool,
+    /// The victim's incarnation epoch after recovery (≥ 1).
+    pub victim_epoch: u64,
+    /// `Rejoin` + `RejoinAck` messages exchanged during the restart (the
+    /// handshake half of the rejoin cost).
+    pub rejoin_messages: u64,
+    /// Protocol messages of the post-restart reconvergence update in the
+    /// experiment network (includes the fallback full re-send toward the
+    /// rejoined node).
+    pub reconverge_messages: u64,
+    /// Protocol messages of the same update in the never-crashed control
+    /// (the baseline the re-send overhead is measured against).
+    pub control_reconverge_messages: u64,
+    /// Node that initiated the post-restart update (the victim when
+    /// [`CrashRestartPlan::recovered_initiates`] is set).
+    pub reconverge_origin: NodeId,
+    /// Id of the post-restart update — epoch-keyed, so when the victim
+    /// initiates, `recovered_update.epoch == victim_epoch`.
+    pub recovered_update: UpdateId,
     /// Victim tuples right after recovery, before reconvergence.
     pub victim_tuples_at_recovery: usize,
     /// Victim tuples after reconvergence.
@@ -90,10 +139,32 @@ impl CrashRestartReport {
     pub fn recovered_exactly(&self) -> bool {
         self.instances_equal && self.factories_equal
     }
+
+    /// The rejoin cost in messages: the handshake itself plus the re-send
+    /// overhead of the reconvergence update relative to the never-crashed
+    /// control (the E17 "rejoin cost" column).
+    pub fn rejoin_cost_messages(&self) -> u64 {
+        self.rejoin_messages
+            + self.reconverge_messages.saturating_sub(self.control_reconverge_messages)
+    }
 }
 
-fn settings() -> NodeSettings {
-    NodeSettings { incremental_updates: false, ..NodeSettings::default() }
+fn settings(plan: &CrashRestartPlan) -> NodeSettings {
+    NodeSettings { incremental_updates: plan.incremental_updates, ..NodeSettings::default() }
+}
+
+/// Sums `Rejoin` + `RejoinAck` sends across every live node's statistics
+/// module (shared with the fault-injection harness). A crash wipes the
+/// victim's in-memory report, so on multi-crash schedules the caller must
+/// bank the victim's counts ([`node_rejoin_messages`]) before killing it.
+pub(crate) fn rejoin_messages(net: &CoDbNetwork) -> u64 {
+    net.network_report().nodes.values().map(node_rejoin_messages).sum()
+}
+
+/// `Rejoin` + `RejoinAck` sends recorded in one node's report.
+pub(crate) fn node_rejoin_messages(report: &codb_core::NodeReport) -> u64 {
+    report.messages_sent.get("rejoin").copied().unwrap_or(0)
+        + report.messages_sent.get("rejoin_ack").copied().unwrap_or(0)
 }
 
 /// Runs the crash/restart scenario of `plan`, persisting the victim under
@@ -105,7 +176,6 @@ pub fn run_crash_restart(
 ) -> Result<CrashRestartReport, codb_store::StoreError> {
     let config = plan.scenario.build_config();
     let sink = plan.scenario.sink();
-    assert_ne!(plan.victim, sink, "the victim must not be the update initiator");
     let victim_name = config
         .nodes
         .iter()
@@ -113,44 +183,55 @@ pub fn run_crash_restart(
         .map(|n| n.name.clone())
         .expect("victim is a configured node");
     let dir = CoDbNetwork::node_data_dir(data_root, &victim_name);
+    let reconverge_origin = if plan.recovered_initiates { plan.victim } else { sink };
 
     // 1. Control network: the same update schedule, never crashed. The
     // kill point is calibrated on the first update's own event count
     // (startup events — pipes, adverts — excluded, since the experiment
     // network counts steps only from the update injection).
     let mut control =
-        CoDbNetwork::build_with(config.clone(), SimConfig::default(), settings(), false)
+        CoDbNetwork::build_with(config.clone(), SimConfig::default(), settings(plan), false)
             .expect("scenario configs validate");
     let startup_events = control.sim().events_processed();
     control.run_update(sink);
     let control_events = control.sim().events_processed() - startup_events;
-    control.run_update(sink);
+    let control_second = control.run_update(reconverge_origin);
 
     // 2. Experiment network: persist the victim, kill it mid-update.
-    let mut net = CoDbNetwork::build_with(config.clone(), SimConfig::default(), settings(), false)
-        .expect("scenario configs validate");
+    let mut net =
+        CoDbNetwork::build_with(config.clone(), SimConfig::default(), settings(plan), false)
+            .expect("scenario configs validate");
     net.open_node_persistence(plan.victim, &dir, plan.sync)?;
     let kill_at = plan.kill_after_events.unwrap_or((control_events / 3).max(1));
     net.sim_mut().inject(HARNESS_PEER, sink.peer(), Envelope::control(Body::StartUpdate));
     let mut stepped = 0u64;
     while stepped < kill_at && net.sim_mut().step() {
         stepped += 1;
+        if let Some(every) = plan.checkpoint_victim_every {
+            if every > 0 && stepped.is_multiple_of(every) {
+                net.checkpoint_node(plan.victim)?;
+            }
+        }
     }
     let killed_mid_update = !net.sim().is_quiescent();
     assert!(net.crash_node(plan.victim), "victim was alive until the kill");
     net.sim_mut().run_until_quiescent();
 
-    // 3. Restart the victim from disk, then reconverge.
+    // 3. Restart the victim from disk. The restart runs the rejoin
+    // handshake to quiescence: the victim announces its new epoch and the
+    // neighbors invalidate their sent-caches toward it.
     let recovery = net.restart_node_from_disk(plan.victim, &dir, plan.sync)?;
     let victim_tuples_at_recovery = net.node(plan.victim).ldb().tuple_count();
-    net.run_update(sink);
+    let rejoin_msgs = rejoin_messages(&net);
+    // Reconverge — initiated by the recovered node itself when the plan
+    // says so (rejoin-as-initiator: the id space must resume, not clash).
+    let reconverge = net.run_update(reconverge_origin);
 
     // 4. Compare against the control network.
     let control_victim = control.node(plan.victim);
     let victim = net.node(plan.victim);
     let instances_equal = victim.ldb() == control_victim.ldb();
-    let factories_equal =
-        victim.snapshot().nulls.invented() == control_victim.snapshot().nulls.invented();
+    let factories_equal = victim.nulls_invented() == control_victim.nulls_invented();
     let isomorphic = codb_relational::isomorphic(victim.ldb(), control_victim.ldb());
     let all_nodes_equal =
         config.nodes.iter().all(|n| net.node(n.id).ldb() == control.node(n.id).ldb());
@@ -162,6 +243,12 @@ pub fn run_crash_restart(
         wal_records_replayed: recovery.wal_records_replayed,
         recovered_generation: recovery.generation,
         torn_tail: recovery.torn_tail,
+        victim_epoch: recovery.epoch,
+        rejoin_messages: rejoin_msgs,
+        reconverge_messages: reconverge.messages,
+        control_reconverge_messages: control_second.messages,
+        reconverge_origin,
+        recovered_update: reconverge.update,
         victim_tuples_at_recovery,
         victim_tuples_final: victim.ldb().tuple_count(),
         instances_equal,
@@ -188,6 +275,8 @@ mod tests {
         assert!(report.recovered_exactly(), "{report:?}");
         assert!(report.all_nodes_equal, "{report:?}");
         assert!(report.wal_records_replayed >= 1, "{report:?}");
+        assert!(report.rejoin_messages >= 2, "handshake ran: {report:?}");
+        assert_eq!(report.victim_epoch, 1, "{report:?}");
     }
 
     #[test]
@@ -231,5 +320,65 @@ mod tests {
         let report = run_crash_restart(&plan, tmp.path()).unwrap();
         assert!(!report.killed_mid_update, "{report:?}");
         assert!(report.recovered_exactly(), "{report:?}");
+    }
+
+    #[test]
+    fn crashed_initiator_initiates_again_without_id_collision() {
+        // The PR-2 regression this module existed to dodge: the *update
+        // initiator* crashes mid-own-update, recovers, and initiates the
+        // reconvergence update itself. Its persisted counters resume the
+        // seq space and its bumped epoch keys the new id, so the new
+        // update cannot collide with the one its dead incarnation minted.
+        let tmp = ScratchDir::new("crash-initiator");
+        let s = Scenario { tuples_per_node: 15, ..Scenario::quick(Topology::Chain(4)) };
+        let victim = s.sink(); // the initiator itself
+        let plan =
+            CrashRestartPlan { recovered_initiates: true, ..CrashRestartPlan::new(s, victim) };
+        let report = run_crash_restart(&plan, tmp.path()).unwrap();
+        assert!(report.killed_mid_update, "{report:?}");
+        assert_eq!(report.reconverge_origin, victim, "{report:?}");
+        // The dead incarnation minted (victim, epoch 0, seq 0); the new
+        // update resumed the counter under the new epoch.
+        assert_eq!(report.recovered_update.origin, victim, "{report:?}");
+        assert_eq!(report.recovered_update.epoch, report.victim_epoch, "{report:?}");
+        assert!(report.recovered_update.epoch >= 1, "{report:?}");
+        assert!(report.recovered_update.seq >= 1, "counters resumed, not restarted: {report:?}");
+        assert!(report.recovered_exactly(), "{report:?}");
+        assert!(report.all_nodes_equal, "{report:?}");
+    }
+
+    #[test]
+    fn incremental_caches_resume_after_one_full_resend() {
+        // The tentpole property: with incremental updates ON, the crash
+        // is repaired by exactly one fallback re-send toward the rejoined
+        // node, and the network still reconverges to the control state.
+        let tmp = ScratchDir::new("crash-incremental");
+        let s = Scenario { tuples_per_node: 20, ..Scenario::quick(Topology::Chain(4)) };
+        let plan = CrashRestartPlan::new(s, NodeId(2));
+        assert!(plan.incremental_updates, "incremental is the default now");
+        let report = run_crash_restart(&plan, tmp.path()).unwrap();
+        assert!(report.recovered_exactly(), "{report:?}");
+        assert!(report.all_nodes_equal, "{report:?}");
+        // The reconvergence update re-sends toward the victim, so it costs
+        // more than the control's incremental second update (which ships
+        // nothing new), but the handshake keeps the overhead bounded.
+        assert!(report.reconverge_messages >= report.control_reconverge_messages, "{report:?}");
+        assert!(report.rejoin_cost_messages() > 0, "{report:?}");
+    }
+
+    #[test]
+    fn victim_checkpoints_bound_wal_replay() {
+        // Checkpointing the victim mid-run compacts the WAL: recovery
+        // starts from a later generation with a short tail.
+        let tmp = ScratchDir::new("crash-ckpt");
+        let s = Scenario { tuples_per_node: 20, ..Scenario::quick(Topology::Chain(4)) };
+        let plan = CrashRestartPlan {
+            checkpoint_victim_every: Some(5),
+            ..CrashRestartPlan::new(s, NodeId(1))
+        };
+        let report = run_crash_restart(&plan, tmp.path()).unwrap();
+        assert!(report.recovered_generation >= 1, "{report:?}");
+        assert!(report.recovered_exactly(), "{report:?}");
+        assert!(report.all_nodes_equal, "{report:?}");
     }
 }

@@ -6,16 +6,22 @@
 //! validated `NetworkConfig` ready to run on the simulator — the library
 //! equivalent of the demo's hand-arranged networks. The [`crash`] module
 //! runs the durability scenario family: kill a node mid-update, recover
-//! it from its `codb-store` data directory, verify reconvergence.
+//! it from its `codb-store` data directory, verify reconvergence. The
+//! [`faultplan`] module generalises it into a deterministic
+//! fault-injection harness: seeded, replayable schedules of
+//! crash/restart/checkpoint/message-loss events whose outcome is checked
+//! against a never-crashed control network.
 
 #![warn(missing_docs)]
 
 pub mod crash;
 pub mod data_gen;
+pub mod faultplan;
 pub mod scenario;
 pub mod topology;
 
 pub use crash::{run_crash_restart, CrashRestartPlan, CrashRestartReport};
 pub use data_gen::{generate, generate_distinct, DataDist};
+pub use faultplan::{run_fault_plan, Fault, FaultKind, FaultPlan, FaultPlanReport, Round};
 pub use scenario::{RuleStyle, Scenario};
 pub use topology::Topology;

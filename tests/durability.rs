@@ -26,6 +26,88 @@ fn crashed_node_recovers_exactly_and_reconverges() {
     );
 }
 
+/// The crash-rejoin acceptance scenario (ISSUE 3): with incremental
+/// updates ON, the update *initiator* crashes mid-own-update, recovers,
+/// runs the rejoin handshake, and initiates the reconvergence update
+/// itself — its persisted counters resume the id space, its new epoch
+/// keys the id, and the network still reaches the control fixpoint.
+#[test]
+fn recovered_initiator_rejoins_first_class_with_incremental_updates() {
+    let tmp = ScratchDir::new("durability-rejoin");
+    let scenario = Scenario { tuples_per_node: 25, ..Scenario::quick(Topology::Chain(4)) };
+    let victim = scenario.sink();
+    let plan =
+        CrashRestartPlan { recovered_initiates: true, ..CrashRestartPlan::new(scenario, victim) };
+    assert!(plan.incremental_updates, "incremental updates are the default");
+    let report = run_crash_restart(&plan, tmp.path()).unwrap();
+    assert!(report.killed_mid_update, "{report:?}");
+    assert!(report.rejoin_messages >= 2, "handshake must run: {report:?}");
+    assert_eq!(report.reconverge_origin, victim, "{report:?}");
+    assert_eq!(report.recovered_update.epoch, report.victim_epoch, "{report:?}");
+    assert!(report.recovered_update.seq >= 1, "counters resumed: {report:?}");
+    assert!(report.recovered_exactly(), "{report:?}");
+    assert!(report.all_nodes_equal, "{report:?}");
+}
+
+/// Seeded fault-injection schedules reconverge: the system-level pin of
+/// the `codb_workload::faultplan` property (a fixed seed here; the full
+/// property test lives in the workload crate, `PROPTEST_CASES`-scalable).
+#[test]
+fn seeded_fault_schedule_reconverges_to_control() {
+    let tmp = ScratchDir::new("durability-faultplan");
+    let scenario = Scenario { tuples_per_node: 10, ..Scenario::quick(Topology::Ring(4)) };
+    let plan = codb::workload::FaultPlan::generate(scenario, 2);
+    assert!(plan.crash_count() > 0, "seed 2 schedules at least one crash: {plan:?}");
+    let report = codb::workload::run_fault_plan(&plan, tmp.path()).unwrap();
+    assert!(report.converged, "replay with seed {}: {report:?}", report.seed);
+}
+
+/// Recovery through `open_persistence_all` on an *already-started*
+/// network (no restart, so no `on_start`) must still run the rejoin
+/// handshake: the announcement goes out lazily on the node's next
+/// activity, neighbors drop their incremental sent-caches toward it, and
+/// the data the recovered node rolled back past is re-sent. Without the
+/// lazy announce, hr's sent-cache would suppress "alice" forever.
+#[test]
+fn live_open_recovery_still_triggers_rejoin_invalidation() {
+    let tmp = ScratchDir::new("durability-liveopen");
+    let config_text = r#"
+        node hr
+        node portal
+        schema hr: emp(str, int)
+        schema portal: person(str, int)
+        data hr: emp("alice", 30).
+        rule adults @ hr -> portal: person(N, A) <- emp(N, A), A >= 18.
+    "#;
+    let config = NetworkConfig::parse(config_text).unwrap();
+
+    // Life 1: persist the *seed* state only (no update), tear down.
+    {
+        let mut net = CoDbNetwork::build(config.clone(), SimConfig::default()).unwrap();
+        net.open_persistence_all(tmp.path(), SyncPolicy::Always).unwrap();
+    }
+
+    // Life 2: run an update first — hr's incremental sent-cache toward
+    // portal now holds alice — then open persistence on the live
+    // network, rolling portal back to the empty seed state.
+    let mut net = CoDbNetwork::build(config, SimConfig::default()).unwrap();
+    let portal = net.node_id("portal").unwrap();
+    net.run_update(portal);
+    assert_eq!(net.node(portal).ldb().tuple_count(), 1, "alice materialised");
+    let recovered = net.open_persistence_all(tmp.path(), SyncPolicy::Always).unwrap();
+    assert_eq!(recovered.len(), 2, "{recovered:?}");
+    assert_eq!(net.node(portal).ldb().tuple_count(), 0, "rolled back to seed state");
+    assert!(net.node(portal).rejoin_pending(), "handshake owed");
+
+    // The first update races the lazy announcement (its quiescent drain
+    // completes the handshake); the second re-sends what the caches had
+    // been suppressing.
+    net.run_update(portal);
+    assert!(!net.node(portal).rejoin_pending(), "announced on first activity");
+    net.run_update(portal);
+    assert_eq!(net.node(portal).ldb().tuple_count(), 1, "alice re-materialised after rejoin");
+}
+
 /// GLAV rules invent marked nulls whose labels depend on apply order; a
 /// recovered node must reach an isomorphic fixpoint with equal factory
 /// counters (no null is ever minted twice for the same template).
