@@ -1,17 +1,18 @@
 //! Criterion bench for experiment e17: durable-store recovery — WAL
-//! replay throughput as a function of the un-compacted log length.
+//! replay throughput as a function of the un-compacted log length, per
+//! on-disk codec (JSON vs binary).
 
 use codb_relational::glav::TField;
 use codb_relational::{
     apply_firings, Instance, NullFactory, RelationSchema, RuleFiring, Snapshot, Value, ValueType,
 };
-use codb_store::{ProtocolCounters, RecvCaches, ScratchDir, Store, SyncPolicy, WalRecord};
+use codb_store::{Codec, ProtocolCounters, RecvCaches, ScratchDir, Store, SyncPolicy, WalRecord};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 
 /// Builds a store whose WAL tail holds `batches` applied batches (no
 /// checkpoints, so recovery replays all of them).
-fn build_store(batches: u64) -> ScratchDir {
+fn build_store(batches: u64, codec: Codec) -> ScratchDir {
     let dir = ScratchDir::new("bench-e17");
     let mut inst = Instance::new();
     inst.add_relation(RelationSchema::with_types("r", &[ValueType::Int, ValueType::Int]));
@@ -23,6 +24,7 @@ fn build_store(batches: u64) -> ScratchDir {
         &recv,
         &ProtocolCounters::default(),
         SyncPolicy::Never,
+        codec,
     )
     .unwrap();
     for b in 0..batches {
@@ -48,11 +50,13 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10)
         .warm_up_time(Duration::from_millis(300))
         .measurement_time(Duration::from_secs(2));
-    for batches in [100u64, 1000] {
-        let dir = build_store(batches);
-        g.bench_with_input(BenchmarkId::from_parameter(batches), &dir, |b, dir| {
-            b.iter(|| Store::open(dir.path(), SyncPolicy::Never).unwrap())
-        });
+    for codec in [Codec::Json, Codec::Binary] {
+        for batches in [100u64, 1000] {
+            let dir = build_store(batches, codec);
+            g.bench_with_input(BenchmarkId::new(codec.to_string(), batches), &dir, |b, dir| {
+                b.iter(|| Store::open(dir.path(), SyncPolicy::Never, codec).unwrap())
+            });
+        }
     }
     g.finish();
 }

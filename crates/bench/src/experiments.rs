@@ -666,31 +666,41 @@ pub fn e16() -> Table {
 }
 
 /// E17 — durable-store recovery: WAL replay cost vs checkpoint (snapshot)
-/// interval, plus the **rejoin cost** of bringing the recovered node back
-/// as a first-class peer. The first half is synthetic: a node applies
-/// 1000 firing batches through a [`codb_store::Store`]; recovery replays
-/// whatever the last checkpoint did not compact, and must reproduce the
-/// live state exactly (asserted — an end-to-end format check). The last
-/// column composes durability with incremental propagation (the E15
-/// axis): a chain-4 network with `incremental_updates: true` crashes a
-/// node mid-update (checkpointing it at a cadence matching the row),
-/// restarts it from disk, has the *recovered node* initiate the
+/// interval **per on-disk codec**, plus the **rejoin cost** of bringing
+/// the recovered node back as a first-class peer. The first half is
+/// synthetic: a node applies 1000 firing batches through a
+/// [`codb_store::Store`] in the row's codec; the table reports the
+/// on-disk footprint (snapshot + WAL bytes of the surviving generation)
+/// and the recovery time/rate — recovery replays whatever the last
+/// checkpoint did not compact, and must reproduce the live state exactly
+/// (asserted — an end-to-end format check). Comparing a `json` row with
+/// its `binary` twin isolates the encoding: same records, same
+/// generations, smaller files and faster loads. The last column composes
+/// durability with incremental propagation (the E15 axis): a chain-4
+/// network with `incremental_updates: true` crashes a node mid-update
+/// (checkpointing it at a cadence matching the row, stores in the row's
+/// codec), restarts it from disk, has the *recovered node* initiate the
 /// reconvergence update, and reports the rejoin cost in messages — the
 /// `Rejoin`/`RejoinAck` handshake plus the one-off full re-send overhead
 /// relative to a never-crashed control.
 pub fn e17() -> Table {
     use codb_relational::glav::TField;
     use codb_relational::{RelationSchema, Snapshot, Value, ValueType};
-    use codb_store::{ProtocolCounters, RecvCaches, ScratchDir, Store, SyncPolicy, WalRecord};
+    use codb_store::{
+        Codec, ProtocolCounters, RecvCaches, ScratchDir, Store, SyncPolicy, WalRecord,
+    };
     use codb_workload::{run_crash_restart, CrashRestartPlan};
 
     let mut t = Table::new(
-        "E17 — recovery: WAL replay vs checkpoint interval (1000 batches, 4 firings each) \
-         + rejoin cost (chain-4, recovered node initiates)",
+        "E17 — recovery: encoding × WAL replay vs checkpoint interval (1000 batches, 4 firings \
+         each) + rejoin cost (chain-4, recovered node initiates)",
         &[
+            "codec",
             "checkpoint every (batches)",
             "generations",
             "wal records",
+            "snap bytes",
+            "wal bytes",
             "recover ms",
             "records/s",
             "tuples",
@@ -700,89 +710,120 @@ pub fn e17() -> Table {
     );
     const BATCHES: u64 = 1000;
     const PER_BATCH: i64 = 4;
-    for interval in [0u64, 250, 50, 10] {
-        let dir = ScratchDir::new("e17");
-        let mut inst = Instance::new();
-        inst.add_relation(RelationSchema::with_types("r", &[ValueType::Int, ValueType::Int]));
-        let mut nulls = NullFactory::new(7);
-        let mut recv = RecvCaches::new();
-        let mut store = Store::create(
-            dir.path(),
-            &Snapshot::capture(&inst, &nulls),
-            &recv,
-            &ProtocolCounters::default(),
-            SyncPolicy::Never,
-        )
-        .unwrap();
-        for b in 0..BATCHES {
-            let firings: Vec<RuleFiring> = (0..PER_BATCH)
-                .map(|k| RuleFiring {
-                    atoms: vec![(
-                        "r".to_owned(),
-                        vec![TField::Const(Value::Int(b as i64 * PER_BATCH + k)), TField::Fresh(0)],
-                    )],
-                })
-                .collect();
-            let cache = recv.entry("e".to_owned()).or_default();
-            let fresh: Vec<RuleFiring> =
-                firings.into_iter().filter(|f| cache.insert(f.clone())).collect();
-            store
-                .append(&WalRecord::Applied { rule: "e".to_owned(), firings: fresh.clone() })
-                .unwrap();
-            codb_relational::apply_firings(&mut inst, &fresh, &mut nulls).unwrap();
-            if interval > 0 && (b + 1) % interval == 0 {
+    for codec in [Codec::Json, Codec::Binary] {
+        for interval in [0u64, 250, 50, 10] {
+            let dir = ScratchDir::new("e17");
+            let mut inst = Instance::new();
+            inst.add_relation(RelationSchema::with_types("r", &[ValueType::Int, ValueType::Int]));
+            let mut nulls = NullFactory::new(7);
+            let mut recv = RecvCaches::new();
+            let mut store = Store::create(
+                dir.path(),
+                &Snapshot::capture(&inst, &nulls),
+                &recv,
+                &ProtocolCounters::default(),
+                SyncPolicy::Never,
+                codec,
+            )
+            .unwrap();
+            for b in 0..BATCHES {
+                let firings: Vec<RuleFiring> = (0..PER_BATCH)
+                    .map(|k| RuleFiring {
+                        atoms: vec![(
+                            "r".to_owned(),
+                            vec![
+                                TField::Const(Value::Int(b as i64 * PER_BATCH + k)),
+                                TField::Fresh(0),
+                            ],
+                        )],
+                    })
+                    .collect();
+                let cache = recv.entry("e".to_owned()).or_default();
+                let fresh: Vec<RuleFiring> =
+                    firings.into_iter().filter(|f| cache.insert(f.clone())).collect();
                 store
-                    .checkpoint(
-                        &Snapshot::capture(&inst, &nulls),
-                        &recv,
-                        &ProtocolCounters::default(),
-                    )
+                    .append(&WalRecord::Applied { rule: "e".to_owned(), firings: fresh.clone() })
                     .unwrap();
+                codb_relational::apply_firings(&mut inst, &fresh, &mut nulls).unwrap();
+                if interval > 0 && (b + 1) % interval == 0 {
+                    store
+                        .checkpoint(
+                            &Snapshot::capture(&inst, &nulls),
+                            &recv,
+                            &ProtocolCounters::default(),
+                        )
+                        .unwrap();
+                }
             }
+            store.sync().unwrap();
+            let generations = store.generation() + 1;
+            let wal_records = store.wal_records();
+            drop(store);
+            // On-disk footprint of the surviving generation — the codec's
+            // size lever, straight from the filesystem.
+            let (snap_bytes, wal_bytes) = dir_footprint(dir.path());
+
+            let t0 = Instant::now();
+            let (_reopened, rec) = Store::open(dir.path(), SyncPolicy::Never, codec).unwrap();
+            let elapsed = t0.elapsed();
+            assert_eq!(rec.instance, inst, "recovery must reproduce the live state");
+            assert_eq!(rec.nulls.invented(), nulls.invented());
+            assert_eq!(rec.snapshot_codec, codec, "the store is end-to-end in the row's codec");
+            let rate = rec.wal_records_replayed as f64 / elapsed.as_secs_f64().max(1e-9);
+
+            // Rejoin cost at an analogous checkpoint cadence. The units
+            // differ deliberately and each gets its own column: the
+            // synthetic half checkpoints per *applied batch*, the crash
+            // half per *simulator event* of the doomed update (scaled down
+            // so every non-`never` row checkpoints at least once before
+            // the kill).
+            let victim_ckpt = (interval > 0).then_some((interval / 10).max(2));
+            let crash_dir = ScratchDir::new("e17-rejoin");
+            let s = codb_workload::Scenario {
+                tuples_per_node: 20,
+                ..codb_workload::Scenario::quick(codb_workload::Topology::Chain(4))
+            };
+            let plan = CrashRestartPlan {
+                recovered_initiates: true,
+                checkpoint_victim_every: victim_ckpt,
+                codec,
+                ..CrashRestartPlan::new(s, codb_core::NodeId(1))
+            };
+            let report = run_crash_restart(&plan, crash_dir.path()).unwrap();
+            assert!(report.recovered_exactly(), "E17 rejoin run must reconverge: {report:?}");
+
+            t.row(vec![
+                codec.to_string(),
+                if interval == 0 { "never".to_owned() } else { interval.to_string() },
+                generations.to_string(),
+                wal_records.to_string(),
+                snap_bytes.to_string(),
+                wal_bytes.to_string(),
+                ms(elapsed),
+                format!("{rate:.0}"),
+                rec.instance.tuple_count().to_string(),
+                victim_ckpt.map_or("never".to_owned(), |e| e.to_string()),
+                report.rejoin_cost_messages().to_string(),
+            ]);
         }
-        store.sync().unwrap();
-        let generations = store.generation() + 1;
-        let wal_records = store.wal_records();
-        drop(store);
-
-        let t0 = Instant::now();
-        let (_reopened, rec) = Store::open(dir.path(), SyncPolicy::Never).unwrap();
-        let elapsed = t0.elapsed();
-        assert_eq!(rec.instance, inst, "recovery must reproduce the live state");
-        assert_eq!(rec.nulls.invented(), nulls.invented());
-        let rate = rec.wal_records_replayed as f64 / elapsed.as_secs_f64().max(1e-9);
-
-        // Rejoin cost at an analogous checkpoint cadence. The units
-        // differ deliberately and each gets its own column: the synthetic
-        // half checkpoints per *applied batch*, the crash half per
-        // *simulator event* of the doomed update (scaled down so every
-        // non-`never` row checkpoints at least once before the kill).
-        let victim_ckpt = (interval > 0).then_some((interval / 10).max(2));
-        let crash_dir = ScratchDir::new("e17-rejoin");
-        let s = codb_workload::Scenario {
-            tuples_per_node: 20,
-            ..codb_workload::Scenario::quick(codb_workload::Topology::Chain(4))
-        };
-        let plan = CrashRestartPlan {
-            recovered_initiates: true,
-            checkpoint_victim_every: victim_ckpt,
-            ..CrashRestartPlan::new(s, codb_core::NodeId(1))
-        };
-        let report = run_crash_restart(&plan, crash_dir.path()).unwrap();
-        assert!(report.recovered_exactly(), "E17 rejoin run must reconverge: {report:?}");
-
-        t.row(vec![
-            if interval == 0 { "never".to_owned() } else { interval.to_string() },
-            generations.to_string(),
-            wal_records.to_string(),
-            ms(elapsed),
-            format!("{rate:.0}"),
-            rec.instance.tuple_count().to_string(),
-            victim_ckpt.map_or("never".to_owned(), |e| e.to_string()),
-            report.rejoin_cost_messages().to_string(),
-        ]);
     }
     t
+}
+
+/// Total bytes of `.snap` and `.wal` files in a store directory.
+fn dir_footprint(dir: &std::path::Path) -> (u64, u64) {
+    let (mut snap, mut wal) = (0u64, 0u64);
+    for entry in std::fs::read_dir(dir).into_iter().flatten().flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Ok(meta) = entry.metadata() else { continue };
+        if name.ends_with(".snap") {
+            snap += meta.len();
+        } else if name.ends_with(".wal") {
+            wal += meta.len();
+        }
+    }
+    (snap, wal)
 }
 
 /// All experiments in id order.

@@ -292,8 +292,9 @@ impl CoDbNetwork {
         id: NodeId,
         dir: &std::path::Path,
         policy: codb_store::SyncPolicy,
+        codec: codb_store::Codec,
     ) -> Result<Option<codb_store::RecoveryStats>, codb_store::StoreError> {
-        self.sim.peer_mut(id.peer()).expect("node exists").open_persistence(dir, policy)
+        self.sim.peer_mut(id.peer()).expect("node exists").open_persistence(dir, policy, codec)
     }
 
     /// Opens persistence for every configured node under
@@ -303,12 +304,15 @@ impl CoDbNetwork {
         &mut self,
         root: &std::path::Path,
         policy: codb_store::SyncPolicy,
+        codec: codb_store::Codec,
     ) -> Result<Vec<String>, codb_store::StoreError> {
         let nodes: Vec<(NodeId, String)> =
             self.config.nodes.iter().map(|n| (n.id, n.name.clone())).collect();
         let mut recovered = Vec::new();
         for (id, name) in nodes {
-            if self.open_node_persistence(id, &Self::node_data_dir(root, &name), policy)?.is_some()
+            if self
+                .open_node_persistence(id, &Self::node_data_dir(root, &name), policy, codec)?
+                .is_some()
             {
                 recovered.push(name);
             }
@@ -356,6 +360,7 @@ impl CoDbNetwork {
         id: NodeId,
         dir: &std::path::Path,
         policy: codb_store::SyncPolicy,
+        codec: codb_store::Codec,
     ) -> Result<codb_store::RecoveryStats, codb_store::StoreError> {
         let nc = self
             .config
@@ -377,7 +382,7 @@ impl CoDbNetwork {
             self.settings.clone(),
         );
         let stats = node
-            .open_persistence(dir, policy)?
+            .open_persistence(dir, policy, codec)?
             .expect("Store::exists checked above, so open_persistence recovers");
         self.sim.add_peer(id.peer(), node);
         self.sim.run_until_quiescent();

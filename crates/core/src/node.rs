@@ -234,6 +234,11 @@ impl CoDbNode {
     /// `Some(stats)` when state was recovered from disk, `None` when a
     /// fresh store was initialised.
     ///
+    /// `codec` picks the on-disk payload encoding for *new* files; an
+    /// existing store recovers whatever encodings its files carry (each
+    /// file's format byte wins) and converts to `codec` at the next
+    /// checkpoint rotation.
+    ///
     /// A recovery marks the node rejoin-pending: the `Rejoin`
     /// announcement ([`crate::rejoin`]) is posted on the node's next
     /// start — or, when persistence is opened on an already-started
@@ -245,9 +250,10 @@ impl CoDbNode {
         &mut self,
         dir: &std::path::Path,
         policy: codb_store::SyncPolicy,
+        codec: codb_store::Codec,
     ) -> Result<Option<codb_store::RecoveryStats>, codb_store::StoreError> {
         if codb_store::Store::exists(dir) {
-            let (store, recovered) = codb_store::Store::open(dir, policy)?;
+            let (store, recovered) = codb_store::Store::open(dir, policy, codec)?;
             let stats = recovered.stats();
             self.ldb = recovered.instance;
             self.nulls = recovered.nulls;
@@ -273,6 +279,7 @@ impl CoDbNode {
                 &self.recv_cache,
                 &self.counters(),
                 policy,
+                codec,
             )?;
             self.persist = Some(store);
             Ok(None)

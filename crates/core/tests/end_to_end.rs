@@ -698,7 +698,7 @@ fn node_snapshot_restores_materialised_state() {
     let mut net = build(TWO_NODES);
     let portal = net.node_id("portal").unwrap();
     net.run_update(portal);
-    let bytes = net.node(portal).snapshot().to_bytes();
+    let bytes = net.node(portal).snapshot().to_bytes().unwrap();
 
     // Fresh network: portal empty; restore the snapshot.
     let mut net2 = build(TWO_NODES);

@@ -15,7 +15,9 @@
 //!   with existential placeholders instantiated as fresh nulls at the
 //!   target;
 //! * a text [`parser`] for queries, rules and facts (the super-peer's rule
-//!   file format builds on it).
+//!   file format builds on it);
+//! * versioned [`snapshot`]s of instances plus the compact [`binenc`]
+//!   binary wire format they (and `codb-store`'s WAL records) encode to.
 //!
 //! In the paper's architecture this crate plays the role of the RDBMS + the
 //! Wrapper: "when LDB does not support nested queries, then this is the
@@ -25,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod algebra;
+pub mod binenc;
 pub mod cq;
 pub mod eval;
 pub mod glav;

@@ -57,11 +57,25 @@ impl NullFactory {
         NullFactory { origin, next: 0 }
     }
 
+    /// Restores a factory from its persisted parts: the owning node's raw
+    /// id and the number of nulls already handed out. This is the decode
+    /// hook of the binary snapshot codec — restoring with a too-small
+    /// `next` would re-issue labels that already occur in the data,
+    /// silently merging distinct unknowns.
+    pub fn from_parts(origin: u64, next: u64) -> Self {
+        NullFactory { origin, next }
+    }
+
     /// Returns a fresh, never-before-seen marked null.
     pub fn fresh(&mut self) -> NullId {
         let id = NullId::new(self.origin, self.next);
         self.next += 1;
         id
+    }
+
+    /// Raw id of the node this factory invents nulls for.
+    pub fn origin(&self) -> u64 {
+        self.origin
     }
 
     /// Number of nulls handed out so far.

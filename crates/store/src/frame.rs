@@ -14,10 +14,14 @@
 //! the durable records behind it. Only a frame whose validated header (or
 //! the header itself) is cut off by end-of-file is torn.
 
-/// Magic prefix of WAL files.
-pub const WAL_MAGIC: [u8; 8] = *b"CODBWAL1";
-/// Magic prefix of snapshot files.
-pub const SNAP_MAGIC: [u8; 8] = *b"CODBSNP1";
+/// Magic prefix of **JSON-format** WAL files — the eighth byte is the
+/// per-file format byte (see [`crate::codec::Codec`]; binary WALs end in
+/// `'2'`). Kept as a named constant because it is the seed on-disk
+/// format every store written before the binary codec carries; derived
+/// from the codec so the magic scheme has one source of truth.
+pub const WAL_MAGIC: [u8; 8] = crate::codec::Codec::Json.wal_magic();
+/// Magic prefix of **JSON-format** snapshot files (see [`WAL_MAGIC`]).
+pub const SNAP_MAGIC: [u8; 8] = crate::codec::Codec::Json.snap_magic();
 
 /// Frame header size: `len` + `!len` + `crc`.
 pub const FRAME_HEADER: usize = 12;

@@ -38,11 +38,23 @@
 //!
 //! where `crc32` is the IEEE CRC-32 of the payload and `!len` is the
 //! bitwise complement of `len` (so a corrupted length field is caught as
-//! corruption instead of masquerading as a torn tail). A `.snap` file is an
-//! 8-byte magic (`CODBSNP1`) followed by exactly one frame whose payload is
-//! a [`codb_relational::Snapshot`] (JSON, version-checked via
-//! `SNAPSHOT_VERSION`). A `.wal` file is an 8-byte magic (`CODBWAL1`)
-//! followed by any number of frames, each a JSON [`WalRecord`]. Every WAL
+//! corruption instead of masquerading as a torn tail).
+//!
+//! Every file starts with an 8-byte magic whose **eighth byte is the
+//! format byte** selecting the payload [`Codec`] (see [`codec`]):
+//! `CODBSNP1`/`CODBWAL1` for JSON payloads (the seed format),
+//! `CODBSNP2`/`CODBWAL2` for the compact binary varint/tag encoding.
+//! Readers auto-detect the codec per file, so a store written by any
+//! past format keeps recovering; writers append in the codec the file
+//! was created with, and a store converts to its *target* codec at
+//! checkpoint rotation (**upgrade-on-rotation** — a legacy JSON store
+//! becomes binary in place at its first checkpoint, no offline
+//! migration step).
+//!
+//! A `.snap` file is the magic followed by exactly one frame whose
+//! payload is a [`codb_relational::Snapshot`] (version-checked via
+//! `SNAPSHOT_VERSION` in either codec). A `.wal` file is the magic
+//! followed by any number of frames, each one [`WalRecord`]. Every WAL
 //! opens with two checkpoint records:
 //!
 //! 1. a [`WalRecord::Caches`] checkpoint of the node's receiver-side
@@ -72,18 +84,23 @@
 //!   writer truncates it away on reopen.
 //! * A complete frame whose checksum does not match is **corruption** and
 //!   is rejected with a typed [`StoreError::CorruptFrame`] — never
-//!   silently accepted.
+//!   silently accepted. The same holds for a frame whose payload fails to
+//!   decode under the file's codec (unknown tag, wild length, invalid
+//!   UTF-8, trailing bytes): a typed error, never a wrong decode.
 //! * A snapshot with a mismatched format version is rejected with
-//!   [`codb_relational::SnapshotError::VersionMismatch`].
+//!   [`codb_relational::SnapshotError::VersionMismatch`]; a file whose
+//!   format byte names no known codec is [`StoreError::BadMagic`].
 
 #![warn(missing_docs)]
 
+pub mod codec;
 pub mod frame;
 pub mod scratch;
 pub mod store;
 pub mod wal;
 
 pub use crate::store::{RecoveredState, RecoveryStats, Store, StoreError};
+pub use codec::Codec;
 pub use frame::{crc32, SNAP_MAGIC, WAL_MAGIC};
 pub use scratch::ScratchDir;
 pub use wal::{ProtocolCounters, RecvCaches, SyncPolicy, WalRecord};

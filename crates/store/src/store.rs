@@ -3,7 +3,8 @@
 //!
 //! See the crate docs for the on-disk format and the compaction rules.
 
-use crate::frame::{encode_frame, FrameScanner, FrameStep, SNAP_MAGIC};
+use crate::codec::{self, Codec, MAGIC_LEN};
+use crate::frame::{encode_frame, FrameScanner, FrameStep};
 use crate::wal::{read_wal, ProtocolCounters, RecvCaches, SyncPolicy, WalRecord, WalWriter};
 use codb_relational::{apply_firings, Instance, NullFactory, Snapshot, SnapshotError};
 use std::fmt;
@@ -148,6 +149,12 @@ pub struct RecoveredState {
     pub wal_records_replayed: u64,
     /// True when a torn final frame was found (and truncated away).
     pub torn_tail: bool,
+    /// Codec the recovered snapshot file was written in (auto-detected
+    /// from its format byte).
+    pub snapshot_codec: Codec,
+    /// Codec of the recovered WAL file — appends continue in it until
+    /// the next checkpoint rotates to the store's target codec.
+    pub wal_codec: Codec,
 }
 
 impl RecoveredState {
@@ -168,6 +175,9 @@ pub struct Store {
     dir: PathBuf,
     generation: u64,
     policy: SyncPolicy,
+    /// Target codec: what checkpoints write. The live WAL may still be in
+    /// another codec (its own format byte wins) until the next rotation.
+    codec: Codec,
     writer: WalWriter,
 }
 
@@ -227,15 +237,15 @@ fn sync_dir(dir: &Path) -> Result<(), StoreError> {
     d.sync_all().map_err(|e| StoreError::io(dir, e))
 }
 
-fn write_snapshot_file(path: &Path, snapshot: &Snapshot) -> Result<(), StoreError> {
+fn write_snapshot_file(path: &Path, snapshot: &Snapshot, codec: Codec) -> Result<(), StoreError> {
     // Temp file + atomic rename: a crash mid-write never produces a
     // half-snapshot under the committed name.
     let tmp = path.with_extension("tmp");
     {
         let mut file = std::fs::File::create(&tmp).map_err(|e| StoreError::io(&tmp, e))?;
         let mut buf = Vec::new();
-        buf.extend_from_slice(&SNAP_MAGIC);
-        encode_frame(&snapshot.to_bytes(), &mut buf);
+        buf.extend_from_slice(&codec.snap_magic());
+        encode_frame(&codec::encode_snapshot(snapshot, codec)?, &mut buf);
         file.write_all(&buf).map_err(|e| StoreError::io(&tmp, e))?;
         file.sync_all().map_err(|e| StoreError::io(&tmp, e))?;
     }
@@ -244,22 +254,22 @@ fn write_snapshot_file(path: &Path, snapshot: &Snapshot) -> Result<(), StoreErro
     Ok(())
 }
 
-fn read_snapshot_file(path: &Path) -> Result<Snapshot, StoreError> {
+fn read_snapshot_file(path: &Path) -> Result<(Snapshot, Codec), StoreError> {
     let bytes = std::fs::read(path).map_err(|e| StoreError::io(path, e))?;
-    if bytes.len() < SNAP_MAGIC.len() || bytes[..SNAP_MAGIC.len()] != SNAP_MAGIC {
+    let Some(codec) = Codec::detect_snap(&bytes) else {
         return Err(StoreError::BadMagic { file: path.to_owned() });
-    }
-    let mut scanner = FrameScanner::new(&bytes[SNAP_MAGIC.len()..]);
+    };
+    let mut scanner = FrameScanner::new(&bytes[MAGIC_LEN..]);
     match scanner.next_frame() {
-        FrameStep::Frame(payload) => Ok(Snapshot::from_bytes(payload)?),
+        FrameStep::Frame(payload) => Ok((codec::decode_snapshot(payload, codec)?, codec)),
         FrameStep::End | FrameStep::TornTail => Err(StoreError::CorruptFrame {
             file: path.to_owned(),
-            offset: SNAP_MAGIC.len() as u64,
+            offset: MAGIC_LEN as u64,
             reason: "incomplete snapshot frame".into(),
         }),
         FrameStep::Corrupt { offset, reason } => Err(StoreError::CorruptFrame {
             file: path.to_owned(),
-            offset: (SNAP_MAGIC.len() + offset) as u64,
+            offset: (MAGIC_LEN + offset) as u64,
             reason,
         }),
     }
@@ -273,20 +283,21 @@ impl Store {
 
     /// Initialises a fresh store at `dir` (created if missing) from the
     /// given state: writes the generation-0 snapshot and an empty WAL
-    /// headed by a cache checkpoint plus a protocol-counter checkpoint.
-    /// Refuses to clobber an existing store.
+    /// headed by a cache checkpoint plus a protocol-counter checkpoint,
+    /// both in `codec`. Refuses to clobber an existing store.
     pub fn create(
         dir: &Path,
         snapshot: &Snapshot,
         recv: &RecvCaches,
         counters: &ProtocolCounters,
         policy: SyncPolicy,
+        codec: Codec,
     ) -> Result<Store, StoreError> {
         std::fs::create_dir_all(dir).map_err(|e| StoreError::io(dir, e))?;
         if Store::exists(dir) {
             return Err(StoreError::AlreadyExists { dir: dir.to_owned() });
         }
-        let mut writer = WalWriter::create(&wal_path(dir, 0), policy)?;
+        let mut writer = WalWriter::create(&wal_path(dir, 0), policy, codec)?;
         writer.append(&WalRecord::Caches { recv: recv.clone() })?;
         writer.append(&WalRecord::Counters { counters: *counters })?;
         writer.sync()?;
@@ -294,43 +305,55 @@ impl Store {
         // point of creation (`exists` keys on it), so a committed store
         // always has its incarnation counter.
         write_epoch(dir, 0)?;
-        write_snapshot_file(&snap_path(dir, 0), snapshot)?;
-        Ok(Store { dir: dir.to_owned(), generation: 0, policy, writer })
+        write_snapshot_file(&snap_path(dir, 0), snapshot, codec)?;
+        Ok(Store { dir: dir.to_owned(), generation: 0, policy, codec, writer })
     }
 
     /// Opens an existing store: loads the latest valid snapshot, replays
     /// the WAL tail (tolerating a torn final frame, which is truncated),
     /// removes files from other generations, and returns the store ready
     /// for appending plus the reconstructed state.
-    pub fn open(dir: &Path, policy: SyncPolicy) -> Result<(Store, RecoveredState), StoreError> {
+    ///
+    /// Each file's payload encoding is auto-detected from its format
+    /// byte, so a store written under either codec always recovers.
+    /// `codec` is the *target*: appends continue in the live WAL's own
+    /// codec, and the next [`Store::checkpoint`] rotates the whole store
+    /// to the target — upgrade-on-rotation, no offline migration.
+    pub fn open(
+        dir: &Path,
+        policy: SyncPolicy,
+        codec: Codec,
+    ) -> Result<(Store, RecoveredState), StoreError> {
         let snaps = list_generations(dir, ".snap")?;
         if snaps.is_empty() {
             return Err(StoreError::NoState { dir: dir.to_owned() });
         }
         // Latest valid snapshot wins; earlier generations are the fallback
         // if the newest is damaged (e.g. bit rot caught by the checksum).
-        let mut chosen: Option<(u64, Snapshot)> = None;
+        let mut chosen: Option<(u64, Snapshot, Codec)> = None;
         let mut first_error: Option<StoreError> = None;
         for &g in snaps.iter().rev() {
             match read_snapshot_file(&snap_path(dir, g)) {
-                Ok(snap) => {
-                    chosen = Some((g, snap));
+                Ok((snap, snap_codec)) => {
+                    chosen = Some((g, snap, snap_codec));
                     break;
                 }
                 Err(e) => first_error = first_error.or(Some(e)),
             }
         }
-        let Some((generation, snapshot)) = chosen else {
+        let Some((generation, snapshot, snapshot_codec)) = chosen else {
             return Err(first_error.expect("at least one candidate failed"));
         };
 
-        // Replay the WAL tail of the chosen generation.
+        // Replay the WAL tail of the chosen generation, in whatever codec
+        // its format byte declares.
         let wal = wal_path(dir, generation);
         let (writer, records, torn_tail) = if wal.is_file() {
             let contents = read_wal(&wal)?;
             let writer = WalWriter::open_append(
                 &wal,
                 policy,
+                contents.codec,
                 contents.valid_len,
                 contents.records.len() as u64,
             )?;
@@ -339,10 +362,11 @@ impl Store {
             // A vanished WAL means a crash mid-checkpoint (or a fallback to
             // a generation whose WAL was already compacted away). The
             // receive caches of that WAL are gone; recreate the file with
-            // an explicit empty cache checkpoint so the every-WAL-starts-
-            // with-Caches invariant holds and the loss is visible in the
-            // replayed records rather than silently assumed.
-            let mut w = WalWriter::create(&wal, policy)?;
+            // an explicit empty cache checkpoint (in the target codec — a
+            // fresh file carries its own format byte) so the every-WAL-
+            // starts-with-Caches invariant holds and the loss is visible
+            // in the replayed records rather than silently assumed.
+            let mut w = WalWriter::create(&wal, policy, codec)?;
             let caches = WalRecord::Caches { recv: RecvCaches::new() };
             w.append(&caches)?;
             w.sync()?;
@@ -374,7 +398,8 @@ impl Store {
             }
         }
 
-        let store = Store { dir: dir.to_owned(), generation, policy, writer };
+        let wal_codec = writer.codec();
+        let store = Store { dir: dir.to_owned(), generation, policy, codec, writer };
         store.remove_other_generations()?;
         // Each open is a new incarnation: bump the persisted epoch so the
         // recovered node's envelopes outrank its previous life's. A
@@ -393,6 +418,8 @@ impl Store {
                 generation,
                 wal_records_replayed: replayed,
                 torn_tail,
+                snapshot_codec,
+                wal_codec,
             },
         ))
     }
@@ -412,6 +439,10 @@ impl Store {
     /// `counters`, and compacts (deletes) the previous generation. On
     /// return, recovery cost is O(new snapshot) regardless of history
     /// length.
+    ///
+    /// The new generation is written in the store's **target codec** —
+    /// this is where a store recovered from legacy JSON files converts to
+    /// binary in place (and where every old-codec file leaves the disk).
     pub fn checkpoint(
         &mut self,
         snapshot: &Snapshot,
@@ -423,12 +454,12 @@ impl Store {
         // checkpoint, (2) the snapshot rename as the commit point, (3) the
         // old generation's deletion. A crash between any two steps leaves
         // at least one complete generation.
-        let mut writer = WalWriter::create(&wal_path(&self.dir, next), self.policy)?;
+        let mut writer = WalWriter::create(&wal_path(&self.dir, next), self.policy, self.codec)?;
         writer.append(&WalRecord::Caches { recv: recv.clone() })?;
         writer.append(&WalRecord::Counters { counters: *counters })?;
         writer.sync()?;
         sync_dir(&self.dir)?;
-        write_snapshot_file(&snap_path(&self.dir, next), snapshot)?;
+        write_snapshot_file(&snap_path(&self.dir, next), snapshot, self.codec)?;
         let old = self.generation;
         self.writer = writer;
         self.generation = next;
@@ -478,6 +509,17 @@ impl Store {
     /// Current snapshot generation.
     pub fn generation(&self) -> u64 {
         self.generation
+    }
+
+    /// The target codec: what the next checkpoint writes.
+    pub fn codec(&self) -> Codec {
+        self.codec
+    }
+
+    /// The live WAL's codec (may differ from [`Store::codec`] until the
+    /// next rotation when the store was recovered from old-format files).
+    pub fn wal_codec(&self) -> Codec {
+        self.writer.codec()
     }
 
     /// Records in the current WAL (cache checkpoint included).
@@ -536,6 +578,7 @@ mod tests {
             &recv,
             &ProtocolCounters::default(),
             SyncPolicy::Always,
+            Codec::Binary,
         )
         .unwrap();
         for k in 0..5 {
@@ -547,7 +590,7 @@ mod tests {
         inst.insert("r", tup![99, 100]).unwrap();
         drop(store);
 
-        let (reopened, rec) = Store::open(dir.path(), SyncPolicy::Always).unwrap();
+        let (reopened, rec) = Store::open(dir.path(), SyncPolicy::Always, Codec::Binary).unwrap();
         assert_eq!(rec.instance, inst);
         assert_eq!(rec.nulls.invented(), nulls.invented());
         assert_eq!(rec.recv_cache, recv);
@@ -568,6 +611,7 @@ mod tests {
             &recv,
             &ProtocolCounters::default(),
             SyncPolicy::Always,
+            Codec::Binary,
         )
         .unwrap();
         for k in 0..10 {
@@ -587,7 +631,7 @@ mod tests {
         assert!(!names.iter().any(|n| n.contains("0000000000")), "{names:?}");
         drop(store);
 
-        let (_, rec) = Store::open(dir.path(), SyncPolicy::Always).unwrap();
+        let (_, rec) = Store::open(dir.path(), SyncPolicy::Always, Codec::Binary).unwrap();
         assert_eq!(rec.instance, inst);
         assert_eq!(rec.recv_cache, recv, "caches survive compaction");
         assert_eq!(rec.generation, 1);
@@ -607,6 +651,7 @@ mod tests {
             &RecvCaches::new(),
             &c0,
             SyncPolicy::Always,
+            Codec::Binary,
         )
         .unwrap();
         // Counter bumps are appended live, like the node does on minting.
@@ -615,14 +660,60 @@ mod tests {
         let c2 = ProtocolCounters { update_seq: 5, query_seq: 2, ..c1 };
         store.append(&WalRecord::Counters { counters: c2 }).unwrap();
         drop(store);
-        let (mut store, rec) = Store::open(dir.path(), SyncPolicy::Always).unwrap();
+        let (mut store, rec) = Store::open(dir.path(), SyncPolicy::Always, Codec::Binary).unwrap();
         assert_eq!(rec.counters, c2, "last counter record wins");
         // Compaction carries the counters into the rotated WAL head.
         store.checkpoint(&Snapshot::capture(&inst, &nulls), &RecvCaches::new(), &c2).unwrap();
         drop(store);
-        let (_, rec) = Store::open(dir.path(), SyncPolicy::Always).unwrap();
+        let (_, rec) = Store::open(dir.path(), SyncPolicy::Always, Codec::Binary).unwrap();
         assert_eq!(rec.counters, c2, "counters survive compaction");
         assert_eq!(rec.wal_records_replayed, 2);
+    }
+
+    #[test]
+    fn json_store_upgrades_to_binary_on_rotation() {
+        // The migration story: a legacy JSON store keeps recovering (and
+        // appending, in JSON) under a binary-target open; its first
+        // checkpoint rewrites the whole store to binary in place.
+        let dir = ScratchDir::new("store-upgrade");
+        let (mut inst, mut nulls) = seed();
+        let mut recv = RecvCaches::new();
+        let mut store = Store::create(
+            dir.path(),
+            &Snapshot::capture(&inst, &nulls),
+            &recv,
+            &ProtocolCounters::default(),
+            SyncPolicy::Always,
+            Codec::Json,
+        )
+        .unwrap();
+        apply_live(&mut store, &mut inst, &mut nulls, &mut recv, "e0", vec![firing(1)]);
+        drop(store);
+
+        let (mut store, rec) = Store::open(dir.path(), SyncPolicy::Always, Codec::Binary).unwrap();
+        assert_eq!(rec.snapshot_codec, Codec::Json);
+        assert_eq!(rec.wal_codec, Codec::Json);
+        assert_eq!(rec.instance, inst, "legacy JSON store recovers unchanged");
+        assert_eq!(store.codec(), Codec::Binary);
+        assert_eq!(store.wal_codec(), Codec::Json, "live WAL stays JSON until rotation");
+        // Appends land in the old WAL (as JSON) and still replay.
+        apply_live(&mut store, &mut inst, &mut nulls, &mut recv, "e0", vec![firing(2)]);
+        store
+            .checkpoint(&Snapshot::capture(&inst, &nulls), &recv, &ProtocolCounters::default())
+            .unwrap();
+        assert_eq!(store.wal_codec(), Codec::Binary, "rotation switched the WAL codec");
+        drop(store);
+
+        // On disk: the surviving generation is fully binary.
+        let snap = std::fs::read(snap_path(dir.path(), 1)).unwrap();
+        let wal = std::fs::read(wal_path(dir.path(), 1)).unwrap();
+        assert_eq!(Codec::detect_snap(&snap), Some(Codec::Binary));
+        assert_eq!(Codec::detect_wal(&wal), Some(Codec::Binary));
+        let (_s, rec) = Store::open(dir.path(), SyncPolicy::Always, Codec::Binary).unwrap();
+        assert_eq!(rec.snapshot_codec, Codec::Binary);
+        assert_eq!(rec.instance, inst, "state survives the codec conversion");
+        assert_eq!(rec.nulls.invented(), nulls.invented());
+        assert_eq!(rec.recv_cache, recv);
     }
 
     #[test]
@@ -637,6 +728,7 @@ mod tests {
             &recv,
             &ProtocolCounters::default(),
             SyncPolicy::Always,
+            Codec::Binary,
         )
         .unwrap();
         assert!(matches!(
@@ -645,7 +737,8 @@ mod tests {
                 &snap,
                 &recv,
                 &ProtocolCounters::default(),
-                SyncPolicy::Always
+                SyncPolicy::Always,
+                Codec::Binary
             ),
             Err(StoreError::AlreadyExists { .. })
         ));
@@ -656,7 +749,7 @@ mod tests {
         let dir = ScratchDir::new("store-empty");
         assert!(!Store::exists(dir.path()));
         assert!(matches!(
-            Store::open(dir.path(), SyncPolicy::Always),
+            Store::open(dir.path(), SyncPolicy::Always, Codec::Binary),
             Err(StoreError::NoState { .. })
         ));
     }
@@ -672,6 +765,7 @@ mod tests {
             &recv,
             &ProtocolCounters::default(),
             SyncPolicy::Always,
+            Codec::Binary,
         )
         .unwrap();
         apply_live(&mut store, &mut inst, &mut nulls, &mut recv, "e0", vec![firing(1)]);
@@ -682,13 +776,13 @@ mod tests {
         let bytes = std::fs::read(&wal).unwrap();
         std::fs::write(&wal, &bytes[..bytes.len() - 4]).unwrap();
 
-        let (store, rec) = Store::open(dir.path(), SyncPolicy::Always).unwrap();
+        let (store, rec) = Store::open(dir.path(), SyncPolicy::Always, Codec::Binary).unwrap();
         assert!(rec.torn_tail);
         assert_eq!(rec.wal_records_replayed, 3); // caches + counters + first apply
         assert_eq!(rec.instance.tuple_count(), 2); // seed + firing(1)
                                                    // The truncated log accepts appends again.
         drop(store);
-        let (_, rec2) = Store::open(dir.path(), SyncPolicy::Always).unwrap();
+        let (_, rec2) = Store::open(dir.path(), SyncPolicy::Always, Codec::Binary).unwrap();
         assert!(!rec2.torn_tail, "truncation removed the torn frame");
     }
 
@@ -702,6 +796,7 @@ mod tests {
             &RecvCaches::new(),
             &ProtocolCounters::default(),
             SyncPolicy::Always,
+            Codec::Binary,
         )
         .unwrap();
         store
@@ -719,7 +814,7 @@ mod tests {
         bytes[at] ^= 0x01;
         std::fs::write(&snap, &bytes).unwrap();
         assert!(matches!(
-            Store::open(dir.path(), SyncPolicy::Always),
+            Store::open(dir.path(), SyncPolicy::Always, Codec::Binary),
             Err(StoreError::CorruptFrame { .. })
         ));
     }
@@ -733,9 +828,9 @@ mod tests {
         // Write the bad snapshot through the file layer directly (the
         // normal API can't produce one).
         std::fs::create_dir_all(dir.path()).unwrap();
-        write_snapshot_file(&snap_path(dir.path(), 0), &snap).unwrap();
-        WalWriter::create(&wal_path(dir.path(), 0), SyncPolicy::Always).unwrap();
-        match Store::open(dir.path(), SyncPolicy::Always) {
+        write_snapshot_file(&snap_path(dir.path(), 0), &snap, Codec::Binary).unwrap();
+        WalWriter::create(&wal_path(dir.path(), 0), SyncPolicy::Always, Codec::Binary).unwrap();
+        match Store::open(dir.path(), SyncPolicy::Always, Codec::Binary) {
             Err(StoreError::Snapshot(SnapshotError::VersionMismatch { found, .. })) => {
                 assert_eq!(found, 999);
             }
@@ -756,17 +851,18 @@ mod tests {
             &RecvCaches::new(),
             &ProtocolCounters::default(),
             SyncPolicy::Always,
+            Codec::Binary,
         )
         .unwrap();
         drop(store);
         std::fs::remove_file(dir.path().join("codb.epoch")).unwrap();
         assert!(matches!(
-            Store::open(dir.path(), SyncPolicy::Always),
+            Store::open(dir.path(), SyncPolicy::Always, Codec::Binary),
             Err(StoreError::Epoch { .. })
         ));
         std::fs::write(dir.path().join("codb.epoch"), "not-a-number").unwrap();
         assert!(matches!(
-            Store::open(dir.path(), SyncPolicy::Always),
+            Store::open(dir.path(), SyncPolicy::Always, Codec::Binary),
             Err(StoreError::Epoch { .. })
         ));
     }
@@ -781,6 +877,7 @@ mod tests {
             &RecvCaches::new(),
             &ProtocolCounters::default(),
             SyncPolicy::Always,
+            Codec::Binary,
         )
         .unwrap();
         drop(store);
@@ -791,9 +888,9 @@ mod tests {
         bytes.extend_from_slice(&crate::frame::SNAP_MAGIC);
         bytes.extend_from_slice(&[9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 1, 2, 3]);
         std::fs::write(&bad_snap, bytes).unwrap();
-        WalWriter::create(&wal_path(dir.path(), 1), SyncPolicy::Always).unwrap();
+        WalWriter::create(&wal_path(dir.path(), 1), SyncPolicy::Always, Codec::Binary).unwrap();
 
-        let (store, rec) = Store::open(dir.path(), SyncPolicy::Always).unwrap();
+        let (store, rec) = Store::open(dir.path(), SyncPolicy::Always, Codec::Binary).unwrap();
         assert_eq!(rec.generation, 0, "fell back to the older valid generation");
         assert_eq!(rec.instance, inst);
         // The damaged newer generation is quarantined, not destroyed.
@@ -814,16 +911,17 @@ mod tests {
             &recv,
             &ProtocolCounters::default(),
             SyncPolicy::Always,
+            Codec::Binary,
         )
         .unwrap();
         apply_live(&mut store, &mut inst, &mut nulls, &mut recv, "e0", vec![firing(5)]);
         drop(store);
         // Simulate a crash between WAL creation and the snapshot rename:
         // an orphan next-generation WAL plus a snapshot .tmp file.
-        WalWriter::create(&wal_path(dir.path(), 1), SyncPolicy::Always).unwrap();
+        WalWriter::create(&wal_path(dir.path(), 1), SyncPolicy::Always, Codec::Binary).unwrap();
         std::fs::write(dir.path().join("codb-0000000001.tmp"), b"half-written").unwrap();
 
-        let (store, rec) = Store::open(dir.path(), SyncPolicy::Always).unwrap();
+        let (store, rec) = Store::open(dir.path(), SyncPolicy::Always, Codec::Binary).unwrap();
         assert_eq!(rec.generation, 0, "commit point not reached → previous generation");
         assert_eq!(rec.instance, inst);
         // Orphans are swept.

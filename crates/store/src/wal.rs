@@ -6,8 +6,14 @@
 //! replaying them against the snapshot reproduces the instance **and** the
 //! null factory byte-for-byte (fresh nulls are invented deterministically
 //! from the factory counter, which the snapshot captures).
+//!
+//! Record payloads are encoded by the per-file [`Codec`] stamped in the
+//! WAL's magic: the reader auto-detects it, and the appender continues in
+//! the codec the file was created with — one file never mixes encodings
+//! (stores switch codecs at checkpoint rotation, never mid-file).
 
-use crate::frame::{encode_frame, FrameScanner, FrameStep, WAL_MAGIC};
+use crate::codec::{self, Codec, MAGIC_LEN};
+use crate::frame::{encode_frame, FrameScanner, FrameStep};
 use crate::store::StoreError;
 use codb_relational::{RuleFiring, Tuple};
 use serde::{Deserialize, Serialize};
@@ -91,26 +97,29 @@ pub struct WalWriter {
     file: File,
     path: PathBuf,
     policy: SyncPolicy,
+    codec: Codec,
     unsynced: u64,
     frames: u64,
 }
 
 impl WalWriter {
     /// Creates a fresh WAL at `path` (truncating any previous file) and
-    /// writes the magic header.
-    pub fn create(path: &Path, policy: SyncPolicy) -> Result<Self, StoreError> {
+    /// writes the magic header carrying `codec`'s format byte.
+    pub fn create(path: &Path, policy: SyncPolicy, codec: Codec) -> Result<Self, StoreError> {
         let mut file = File::create(path).map_err(|e| StoreError::io(path, e))?;
-        file.write_all(&WAL_MAGIC).map_err(|e| StoreError::io(path, e))?;
+        file.write_all(&codec.wal_magic()).map_err(|e| StoreError::io(path, e))?;
         file.sync_all().map_err(|e| StoreError::io(path, e))?;
-        Ok(WalWriter { file, path: path.to_owned(), policy, unsynced: 0, frames: 0 })
+        Ok(WalWriter { file, path: path.to_owned(), policy, codec, unsynced: 0, frames: 0 })
     }
 
     /// Reopens an existing WAL for appending, truncating a torn tail:
-    /// `valid_len` is the byte length of the valid prefix (as reported by
-    /// [`read_wal`]) and `frames` the number of valid records in it.
+    /// `codec` is the file's detected codec, `valid_len` the byte length
+    /// of the valid prefix and `frames` the number of valid records in it
+    /// (all as reported by [`read_wal`]).
     pub fn open_append(
         path: &Path,
         policy: SyncPolicy,
+        codec: Codec,
         valid_len: u64,
         frames: u64,
     ) -> Result<Self, StoreError> {
@@ -120,16 +129,16 @@ impl WalWriter {
             .open(path)
             .map_err(|e| StoreError::io(path, e))?;
         file.set_len(valid_len).map_err(|e| StoreError::io(path, e))?;
-        let mut w = WalWriter { file, path: path.to_owned(), policy, unsynced: 0, frames };
+        let mut w = WalWriter { file, path: path.to_owned(), policy, codec, unsynced: 0, frames };
         use std::io::Seek as _;
         w.file.seek(std::io::SeekFrom::End(0)).map_err(|e| StoreError::io(path, e))?;
         Ok(w)
     }
 
-    /// Appends one record, syncing according to the policy.
+    /// Appends one record (encoded in the file's codec), syncing
+    /// according to the policy.
     pub fn append(&mut self, record: &WalRecord) -> Result<(), StoreError> {
-        let payload =
-            serde_json::to_vec(record).map_err(|e| StoreError::Encode { detail: e.to_string() })?;
+        let payload = codec::encode_record(record, self.codec)?;
         let mut buf = Vec::with_capacity(payload.len() + 8);
         encode_frame(&payload, &mut buf);
         self.file.write_all(&buf).map_err(|e| StoreError::io(&self.path, e))?;
@@ -158,6 +167,11 @@ impl WalWriter {
         self.frames
     }
 
+    /// The codec this file was created with (every append uses it).
+    pub fn codec(&self) -> Codec {
+        self.codec
+    }
+
     /// The file path.
     pub fn path(&self) -> &Path {
         &self.path
@@ -169,20 +183,24 @@ impl WalWriter {
 pub struct WalContents {
     /// The valid records, in append order.
     pub records: Vec<WalRecord>,
+    /// The codec detected from the file's format byte.
+    pub codec: Codec,
     /// Byte length of the valid prefix (magic + complete frames).
     pub valid_len: u64,
     /// True when a torn final frame was truncated away.
     pub torn_tail: bool,
 }
 
-/// Reads and validates a WAL file. A torn final frame is tolerated (and
-/// reported); a checksum mismatch on a complete frame is a typed error.
+/// Reads and validates a WAL file, auto-detecting its codec from the
+/// format byte. A torn final frame is tolerated (and reported); a
+/// checksum mismatch or undecodable payload on a complete frame is a
+/// typed error.
 pub fn read_wal(path: &Path) -> Result<WalContents, StoreError> {
     let bytes = std::fs::read(path).map_err(|e| StoreError::io(path, e))?;
-    if bytes.len() < WAL_MAGIC.len() || bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+    let Some(codec) = Codec::detect_wal(&bytes) else {
         return Err(StoreError::BadMagic { file: path.to_owned() });
-    }
-    let body = &bytes[WAL_MAGIC.len()..];
+    };
+    let body = &bytes[MAGIC_LEN..];
     let mut scanner = FrameScanner::new(body);
     let mut records = Vec::new();
     loop {
@@ -191,32 +209,35 @@ pub fn read_wal(path: &Path) -> Result<WalContents, StoreError> {
         let frame_at = scanner.offset();
         match scanner.next_frame() {
             FrameStep::Frame(payload) => {
-                let record: WalRecord =
-                    serde_json::from_slice(payload).map_err(|e| StoreError::CorruptFrame {
+                let record = codec::decode_record(payload, codec).map_err(|reason| {
+                    StoreError::CorruptFrame {
                         file: path.to_owned(),
-                        offset: (WAL_MAGIC.len() + frame_at) as u64,
-                        reason: format!("undecodable record: {e}"),
-                    })?;
+                        offset: (MAGIC_LEN + frame_at) as u64,
+                        reason,
+                    }
+                })?;
                 records.push(record);
             }
             FrameStep::End => {
                 return Ok(WalContents {
                     records,
-                    valid_len: (WAL_MAGIC.len() + scanner.offset()) as u64,
+                    codec,
+                    valid_len: (MAGIC_LEN + scanner.offset()) as u64,
                     torn_tail: false,
                 });
             }
             FrameStep::TornTail => {
                 return Ok(WalContents {
                     records,
-                    valid_len: (WAL_MAGIC.len() + scanner.offset()) as u64,
+                    codec,
+                    valid_len: (MAGIC_LEN + scanner.offset()) as u64,
                     torn_tail: true,
                 });
             }
             FrameStep::Corrupt { offset, reason } => {
                 return Err(StoreError::CorruptFrame {
                     file: path.to_owned(),
-                    offset: (WAL_MAGIC.len() + offset) as u64,
+                    offset: (MAGIC_LEN + offset) as u64,
                     reason,
                 });
             }
@@ -238,32 +259,36 @@ mod tests {
     }
 
     #[test]
-    fn append_and_read_round_trip() {
-        let dir = ScratchDir::new("wal-roundtrip");
-        let path = dir.path().join("codb-0000000000.wal");
-        let mut w = WalWriter::create(&path, SyncPolicy::Always).unwrap();
-        let records = vec![
-            WalRecord::Caches { recv: RecvCaches::new() },
-            WalRecord::Applied { rule: "e0".into(), firings: vec![firing(1), firing(2)] },
-            WalRecord::LocalInsert {
-                relation: "r".into(),
-                tuple: Tuple::new(vec![Value::Int(9), Value::str("x")]),
-            },
-        ];
-        for r in &records {
-            w.append(r).unwrap();
+    fn append_and_read_round_trip_in_both_codecs() {
+        for codec in [Codec::Json, Codec::Binary] {
+            let dir = ScratchDir::new("wal-roundtrip");
+            let path = dir.path().join("codb-0000000000.wal");
+            let mut w = WalWriter::create(&path, SyncPolicy::Always, codec).unwrap();
+            let records = vec![
+                WalRecord::Caches { recv: RecvCaches::new() },
+                WalRecord::Applied { rule: "e0".into(), firings: vec![firing(1), firing(2)] },
+                WalRecord::LocalInsert {
+                    relation: "r".into(),
+                    tuple: Tuple::new(vec![Value::Int(9), Value::str("x")]),
+                },
+            ];
+            for r in &records {
+                w.append(r).unwrap();
+            }
+            let contents = read_wal(&path).unwrap();
+            assert_eq!(contents.records, records, "{codec}");
+            assert_eq!(contents.codec, codec, "auto-detected from the format byte");
+            assert!(!contents.torn_tail);
+            assert_eq!(w.frames(), 3);
+            assert_eq!(w.codec(), codec);
         }
-        let contents = read_wal(&path).unwrap();
-        assert_eq!(contents.records, records);
-        assert!(!contents.torn_tail);
-        assert_eq!(w.frames(), 3);
     }
 
     #[test]
     fn torn_tail_is_tolerated_and_truncated_on_reopen() {
         let dir = ScratchDir::new("wal-torn");
         let path = dir.path().join("codb-0000000000.wal");
-        let mut w = WalWriter::create(&path, SyncPolicy::Always).unwrap();
+        let mut w = WalWriter::create(&path, SyncPolicy::Always, Codec::Binary).unwrap();
         w.append(&WalRecord::Caches { recv: RecvCaches::new() }).unwrap();
         w.append(&WalRecord::Applied { rule: "e".into(), firings: vec![firing(1)] }).unwrap();
         drop(w);
@@ -274,8 +299,14 @@ mod tests {
         assert_eq!(contents.records.len(), 1, "only the first record survives");
         assert!(contents.torn_tail);
         // Reopen for append: the torn bytes are gone, the log grows cleanly.
-        let mut w =
-            WalWriter::open_append(&path, SyncPolicy::Always, contents.valid_len, 1).unwrap();
+        let mut w = WalWriter::open_append(
+            &path,
+            SyncPolicy::Always,
+            contents.codec,
+            contents.valid_len,
+            1,
+        )
+        .unwrap();
         w.append(&WalRecord::LocalInsert {
             relation: "r".into(),
             tuple: Tuple::new(vec![Value::Int(1)]),
@@ -290,7 +321,7 @@ mod tests {
     fn bit_flip_mid_log_is_a_typed_error() {
         let dir = ScratchDir::new("wal-flip");
         let path = dir.path().join("codb-0000000000.wal");
-        let mut w = WalWriter::create(&path, SyncPolicy::Always).unwrap();
+        let mut w = WalWriter::create(&path, SyncPolicy::Always, Codec::Binary).unwrap();
         w.append(&WalRecord::Applied { rule: "e".into(), firings: vec![firing(7)] }).unwrap();
         drop(w);
         let mut bytes = std::fs::read(&path).unwrap();
@@ -311,5 +342,34 @@ mod tests {
         let path = dir.path().join("not-a.wal");
         std::fs::write(&path, b"garbage").unwrap();
         assert!(matches!(read_wal(&path), Err(StoreError::BadMagic { .. })));
+        // An unknown *format byte* under a valid prefix is BadMagic too —
+        // a store from a future format version must not be misread.
+        std::fs::write(&path, b"CODBWAL9").unwrap();
+        assert!(matches!(read_wal(&path), Err(StoreError::BadMagic { .. })));
+    }
+
+    #[test]
+    fn payload_codec_follows_the_format_byte_not_the_caller() {
+        // A JSON WAL opened in a binary-target store keeps decoding (and
+        // appending) as JSON: the file's own format byte wins.
+        let dir = ScratchDir::new("wal-mixcheck");
+        let path = dir.path().join("codb-0000000000.wal");
+        let mut w = WalWriter::create(&path, SyncPolicy::Always, Codec::Json).unwrap();
+        w.append(&WalRecord::Applied { rule: "e".into(), firings: vec![firing(1)] }).unwrap();
+        drop(w);
+        let contents = read_wal(&path).unwrap();
+        assert_eq!(contents.codec, Codec::Json);
+        let mut w = WalWriter::open_append(
+            &path,
+            SyncPolicy::Always,
+            contents.codec,
+            contents.valid_len,
+            contents.records.len() as u64,
+        )
+        .unwrap();
+        w.append(&WalRecord::Applied { rule: "e".into(), firings: vec![firing(2)] }).unwrap();
+        drop(w);
+        let contents = read_wal(&path).unwrap();
+        assert_eq!(contents.records.len(), 2, "appended record decodes as JSON");
     }
 }

@@ -5,11 +5,16 @@
 //! cache-invalidation path) and fails loudly if any recovered network
 //! does not reconverge to its never-crashed control.
 //!
+//! Every schedule runs **codec-differentially**: the identical plan is
+//! executed once with all-JSON stores and once with all-binary stores,
+//! and the reconverged states must match byte for byte — the CI pin of
+//! the binary on-disk codec's behavioural equivalence under crashes.
+//!
 //! Usage: `cargo run -p codb-workload --example faultplan_smoke [seed...]`
 //! (defaults to seeds 1, 2, 3 over a chain, a ring and a star).
 
 use codb_store::ScratchDir;
-use codb_workload::{run_fault_plan, FaultPlan, RuleStyle, Scenario, Topology};
+use codb_workload::{run_fault_plan_differential, FaultPlan, RuleStyle, Scenario, Topology};
 
 fn main() {
     let seeds: Vec<u64> = std::env::args()
@@ -31,27 +36,30 @@ fn main() {
         for &seed in &seeds {
             let plan = FaultPlan::generate(*scenario, seed);
             let tmp = ScratchDir::new("faultplan-smoke");
-            let report = run_fault_plan(&plan, tmp.path()).expect("store i/o on a scratch dir");
+            let report =
+                run_fault_plan_differential(&plan, tmp.path()).expect("store i/o on a scratch dir");
             println!(
                 "seed {seed:>3} {:<22} rounds={} crashes={} checkpoints={} loss={:.2} \
-                 rejoin_msgs={:>3} converged={}",
+                 rejoin_msgs={:>3} converged(json)={} converged(binary)={} states_identical={}",
                 format!("{:?}", scenario.topology),
-                report.rounds,
-                report.crashes,
-                report.checkpoints,
+                report.json.rounds,
+                report.json.crashes,
+                report.json.checkpoints,
                 plan.loss,
-                report.rejoin_messages,
-                report.converged,
+                report.json.rejoin_messages,
+                report.json.converged,
+                report.binary.converged,
+                report.states_identical,
             );
-            if !report.converged {
-                eprintln!("FAILED: replay with FaultPlan::generate({:?}, {seed})", scenario);
+            if !report.agreed() {
+                eprintln!("FAILED: replay with FaultPlan::generate({scenario:?}, {seed})");
                 failures += 1;
             }
         }
     }
     if failures > 0 {
-        eprintln!("{failures} schedule(s) failed to reconverge");
+        eprintln!("{failures} schedule(s) failed to reconverge identically under both codecs");
         std::process::exit(1);
     }
-    println!("all schedules reconverged");
+    println!("all schedules reconverged, byte-identical across codecs");
 }

@@ -35,7 +35,7 @@
 use crate::scenario::Scenario;
 use codb_core::{Body, CoDbNetwork, Envelope, NodeId, NodeSettings, UpdateId, HARNESS_PEER};
 use codb_net::SimConfig;
-use codb_store::SyncPolicy;
+use codb_store::{Codec, SyncPolicy};
 use std::path::Path;
 
 /// One crash/restart experiment.
@@ -53,6 +53,9 @@ pub struct CrashRestartPlan {
     pub kill_after_events: Option<u64>,
     /// WAL durability policy for the victim's store.
     pub sync: SyncPolicy,
+    /// On-disk payload codec for the victim's store (the crash/recover
+    /// path is exercised under both codecs by the differential harness).
+    pub codec: Codec,
     /// Keep sender-side firing caches across updates (the E15 ablation
     /// axis). The default `true` exercises the rejoin handshake's
     /// cache-invalidation path; `false` repairs by full re-send on every
@@ -77,6 +80,7 @@ impl CrashRestartPlan {
             victim,
             kill_after_events: None,
             sync: SyncPolicy::Always,
+            codec: Codec::Binary,
             incremental_updates: true,
             recovered_initiates: false,
             checkpoint_victim_every: None,
@@ -201,7 +205,7 @@ pub fn run_crash_restart(
     let mut net =
         CoDbNetwork::build_with(config.clone(), SimConfig::default(), settings(plan), false)
             .expect("scenario configs validate");
-    net.open_node_persistence(plan.victim, &dir, plan.sync)?;
+    net.open_node_persistence(plan.victim, &dir, plan.sync, plan.codec)?;
     let kill_at = plan.kill_after_events.unwrap_or((control_events / 3).max(1));
     net.sim_mut().inject(HARNESS_PEER, sink.peer(), Envelope::control(Body::StartUpdate));
     let mut stepped = 0u64;
@@ -220,7 +224,7 @@ pub fn run_crash_restart(
     // 3. Restart the victim from disk. The restart runs the rejoin
     // handshake to quiescence: the victim announces its new epoch and the
     // neighbors invalidate their sent-caches toward it.
-    let recovery = net.restart_node_from_disk(plan.victim, &dir, plan.sync)?;
+    let recovery = net.restart_node_from_disk(plan.victim, &dir, plan.sync, plan.codec)?;
     let victim_tuples_at_recovery = net.node(plan.victim).ldb().tuple_count();
     let rejoin_msgs = rejoin_messages(&net);
     // Reconverge — initiated by the recovered node itself when the plan

@@ -27,11 +27,17 @@
 //! seed (loss draws included), the schedule is a pure function of the
 //! seed, and a failing case can be replayed from the seed printed in the
 //! failure message.
+//!
+//! Determinism buys a second harness for free:
+//! [`run_fault_plan_differential`] executes one plan twice — all stores
+//! JSON, then all stores binary — and demands byte-for-byte identical
+//! reconverged states, isolating the on-disk codec as the only moving
+//! part.
 
 use crate::scenario::{RuleStyle, Scenario};
 use codb_core::{Body, CoDbNetwork, Envelope, NodeId, NodeSettings, HARNESS_PEER};
 use codb_net::{PipeConfig, SimConfig};
-use codb_store::SyncPolicy;
+use codb_store::{Codec, SyncPolicy};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::path::Path;
@@ -80,6 +86,10 @@ pub struct FaultPlan {
     pub loss: f64,
     /// WAL durability policy for every node's store.
     pub sync: SyncPolicy,
+    /// On-disk payload codec for every node's store. Schedules are codec-
+    /// independent, so [`run_fault_plan_differential`] can execute the
+    /// same plan under both codecs and demand identical outcomes.
+    pub codec: Codec,
     /// The update rounds. The generator keeps the last round fault-free
     /// so the network can reconverge.
     pub rounds: Vec<Round>,
@@ -129,7 +139,7 @@ impl FaultPlan {
             rounds.push(Round { initiator, faults });
         }
         let loss = if rng.gen_bool(0.5) { 0.0 } else { 0.08 };
-        FaultPlan { scenario, seed, loss, sync: SyncPolicy::Always, rounds }
+        FaultPlan { scenario, seed, loss, sync: SyncPolicy::Always, codec: Codec::Binary, rounds }
     }
 
     /// Total crash faults in the schedule.
@@ -180,6 +190,15 @@ pub fn run_fault_plan(
     plan: &FaultPlan,
     data_root: &Path,
 ) -> Result<FaultPlanReport, codb_store::StoreError> {
+    run_fault_plan_impl(plan, data_root).map(|(report, _)| report)
+}
+
+/// The runner, also returning every experiment node's final state (name →
+/// snapshot of LDB + null factory) for the codec-differential harness.
+fn run_fault_plan_impl(
+    plan: &FaultPlan,
+    data_root: &Path,
+) -> Result<(FaultPlanReport, Vec<(String, codb_relational::Snapshot)>), codb_store::StoreError> {
     let config = plan.scenario.build_config();
 
     // Control: same rounds, no faults, lossless pipes.
@@ -198,7 +217,7 @@ pub fn run_fault_plan(
     };
     let mut net = CoDbNetwork::build_with(config.clone(), sim_config, settings(plan.loss), false)
         .expect("scenario configs validate");
-    net.open_persistence_all(data_root, plan.sync)?;
+    net.open_persistence_all(data_root, plan.sync, plan.codec)?;
 
     let mut crashes = 0usize;
     let mut checkpoints = 0u64;
@@ -260,7 +279,7 @@ pub fn run_fault_plan(
         for victim in crashed {
             let name = &config.nodes.iter().find(|n| n.id == victim).expect("configured").name;
             let dir = CoDbNetwork::node_data_dir(data_root, name);
-            net.restart_node_from_disk(victim, &dir, plan.sync)?;
+            net.restart_node_from_disk(victim, &dir, plan.sync, plan.codec)?;
         }
     }
 
@@ -269,6 +288,7 @@ pub fn run_fault_plan(
     let mut nodes_equal = 0;
     let mut nodes_isomorphic = 0;
     let mut factories_equal = 0;
+    let mut final_states = Vec::with_capacity(config.nodes.len());
     for nc in &config.nodes {
         let ours = net.node(nc.id);
         let theirs = control.node(nc.id);
@@ -281,6 +301,7 @@ pub fn run_fault_plan(
         if ours.nulls_invented() == theirs.nulls_invented() {
             factories_equal += 1;
         }
+        final_states.push((nc.name.clone(), ours.snapshot()));
     }
     let nodes = config.nodes.len();
     let converged = if strict_style {
@@ -290,18 +311,71 @@ pub fn run_fault_plan(
     };
     let rejoin_messages = rejoin_banked + crate::crash::rejoin_messages(&net);
 
-    Ok(FaultPlanReport {
-        seed: plan.seed,
-        rounds: plan.rounds.len(),
-        crashes,
-        checkpoints,
-        rejoin_messages,
-        nodes_equal,
-        nodes_isomorphic,
-        factories_equal,
-        nodes,
-        converged,
-    })
+    Ok((
+        FaultPlanReport {
+            seed: plan.seed,
+            rounds: plan.rounds.len(),
+            crashes,
+            checkpoints,
+            rejoin_messages,
+            nodes_equal,
+            nodes_isomorphic,
+            factories_equal,
+            nodes,
+            converged,
+        },
+        final_states,
+    ))
+}
+
+/// What [`run_fault_plan_differential`] observed: the same seeded
+/// schedule executed once per codec, plus the cross-codec verdict.
+#[derive(Clone, Debug)]
+pub struct CodecDifferentialReport {
+    /// The run whose stores were JSON end to end.
+    pub json: FaultPlanReport,
+    /// The run whose stores were binary end to end.
+    pub binary: FaultPlanReport,
+    /// True when every node's reconverged state is **byte-for-byte**
+    /// identical between the two runs (states are compared by their
+    /// deterministic binary encoding, so this is exact equality of
+    /// instance, schemas and null-factory counters — not isomorphism).
+    pub states_identical: bool,
+}
+
+impl CodecDifferentialReport {
+    /// The acceptance bar: both runs reconverged to their controls *and*
+    /// to each other, byte for byte.
+    pub fn agreed(&self) -> bool {
+        self.json.converged && self.binary.converged && self.states_identical
+    }
+}
+
+/// Codec-differential fault injection: executes the identical seeded
+/// schedule twice — once with every store in [`Codec::Json`], once in
+/// [`Codec::Binary`] (under `data_root/json` and `data_root/binary`) —
+/// and compares the reconverged states byte for byte.
+///
+/// The simulator, the loss draws and the schedule are all pure functions
+/// of the plan seed, so the *only* degree of freedom between the two runs
+/// is the on-disk encoding: any divergence is a codec bug (a decode that
+/// silently altered data, a counter that did not round-trip, a cache
+/// entry that vanished), which is exactly what this harness exists to
+/// catch.
+pub fn run_fault_plan_differential(
+    plan: &FaultPlan,
+    data_root: &Path,
+) -> Result<CodecDifferentialReport, codb_store::StoreError> {
+    let json_plan = FaultPlan { codec: Codec::Json, ..plan.clone() };
+    let binary_plan = FaultPlan { codec: Codec::Binary, ..plan.clone() };
+    let (json, json_states) = run_fault_plan_impl(&json_plan, &data_root.join("json"))?;
+    let (binary, binary_states) = run_fault_plan_impl(&binary_plan, &data_root.join("binary"))?;
+    let states_identical = json_states.len() == binary_states.len()
+        && json_states
+            .iter()
+            .zip(&binary_states)
+            .all(|((ja, js), (ba, bs))| ja == ba && js.to_binary_bytes() == bs.to_binary_bytes());
+    Ok(CodecDifferentialReport { json, binary, states_identical })
 }
 
 #[cfg(test)]
@@ -361,6 +435,7 @@ mod tests {
             seed: 7,
             loss: 0.05,
             sync: SyncPolicy::Always,
+            codec: Codec::Binary,
             rounds: vec![
                 Round {
                     initiator: s.sink(),
@@ -382,6 +457,59 @@ mod tests {
         assert_eq!(report.crashes, 1, "{report:?}");
         assert!(report.rejoin_messages >= 2, "{report:?}");
         assert!(report.converged, "replay with seed {}: {report:?}", plan.seed);
+    }
+
+    /// The codec-differential satellite: one seeded schedule with a
+    /// guaranteed crash, run under JSON stores and binary stores, must
+    /// reconverge to byte-for-byte identical states.
+    #[test]
+    fn differential_runs_agree_byte_for_byte() {
+        let tmp = ScratchDir::new("faultplan-diff");
+        let s = Scenario { tuples_per_node: 12, ..Scenario::quick(Topology::Chain(4)) };
+        let plan = FaultPlan {
+            scenario: s,
+            seed: 7,
+            loss: 0.05,
+            sync: SyncPolicy::Always,
+            codec: Codec::Binary, // overridden per run by the harness
+            rounds: vec![
+                Round {
+                    initiator: s.sink(),
+                    faults: vec![Fault { at_event: 9, node: NodeId(1), kind: FaultKind::Crash }],
+                },
+                Round {
+                    initiator: NodeId(1),
+                    faults: vec![Fault {
+                        at_event: 15,
+                        node: NodeId(2),
+                        kind: FaultKind::Checkpoint,
+                    }],
+                },
+                Round { initiator: s.sink(), faults: vec![] },
+            ],
+        };
+        let report = run_fault_plan_differential(&plan, tmp.path()).unwrap();
+        assert_eq!(report.json.crashes, 1, "{report:?}");
+        assert_eq!(report.binary.crashes, 1, "{report:?}");
+        assert!(report.states_identical, "{report:?}");
+        assert!(report.agreed(), "{report:?}");
+    }
+
+    /// GLAV rules make the differential bar *harder*, not softer: null
+    /// labels depend on apply order, but the two runs share every apply
+    /// order (same seed, same schedule), so even invented nulls must
+    /// match exactly across codecs.
+    #[test]
+    fn differential_agrees_even_with_invented_nulls() {
+        let tmp = ScratchDir::new("faultplan-diff-glav");
+        let s = Scenario {
+            tuples_per_node: 8,
+            rule_style: RuleStyle::ProjectGlav,
+            ..Scenario::quick(Topology::Chain(3))
+        };
+        let plan = FaultPlan::generate(s, 3);
+        let report = run_fault_plan_differential(&plan, tmp.path()).unwrap();
+        assert!(report.agreed(), "replay with seed {}: {report:?}", plan.seed);
     }
 
     proptest! {

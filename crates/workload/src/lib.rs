@@ -22,6 +22,9 @@ pub mod topology;
 
 pub use crash::{run_crash_restart, CrashRestartPlan, CrashRestartReport};
 pub use data_gen::{generate, generate_distinct, DataDist};
-pub use faultplan::{run_fault_plan, Fault, FaultKind, FaultPlan, FaultPlanReport, Round};
+pub use faultplan::{
+    run_fault_plan, run_fault_plan_differential, CodecDifferentialReport, Fault, FaultKind,
+    FaultPlan, FaultPlanReport, Round,
+};
 pub use scenario::{RuleStyle, Scenario};
 pub use topology::Topology;

@@ -4,11 +4,15 @@
 //! (with `--data-dir`) persist node state across invocations.
 //!
 //! ```text
-//! codb-demo [--data-dir DIR] CONFIG_FILE COMMAND...
+//! codb-demo [--data-dir DIR] [--codec json|binary] CONFIG_FILE COMMAND...
 //!
 //! Options:
 //!   --data-dir DIR                durable stores under DIR/<node>; nodes
 //!                                 with saved state recover it on startup
+//!   --codec json|binary           on-disk payload encoding for new store
+//!                                 files (default binary); existing stores
+//!                                 recover either format and convert to the
+//!                                 chosen codec at their next save
 //!
 //! Commands (executed in order):
 //!   update NODE                   start a global update at NODE
@@ -31,7 +35,8 @@ use codb::relational::pretty::render_relation;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: codb-demo [--data-dir DIR] CONFIG_FILE COMMAND...\n\
+const USAGE: &str = "usage: codb-demo [--data-dir DIR] [--codec json|binary] CONFIG_FILE \
+    COMMAND...\n\
     commands: update NODE | scoped-update NODE REL[,REL] | query NODE 'Q' |\n\
     local-query NODE 'Q' | show NODE | save NODE | recover NODE | stats";
 
@@ -45,6 +50,7 @@ fn main() -> ExitCode {
 
     // Options first (any order, before the config file).
     let mut data_dir: Option<PathBuf> = None;
+    let mut codec = Codec::default();
     while let Some(first) = args.first() {
         match first.as_str() {
             "--data-dir" => {
@@ -53,6 +59,16 @@ fn main() -> ExitCode {
                     return fail(&format!("--data-dir needs a DIR argument\n{USAGE}"));
                 }
                 data_dir = Some(PathBuf::from(args.remove(0)));
+            }
+            "--codec" => {
+                args.remove(0);
+                if args.is_empty() {
+                    return fail(&format!("--codec needs json or binary\n{USAGE}"));
+                }
+                codec = match args.remove(0).parse() {
+                    Ok(c) => c,
+                    Err(e) => return fail(&format!("{e}\n{USAGE}")),
+                };
             }
             flag if flag.starts_with("--") => {
                 return fail(&format!("unknown option {flag:?}\n{USAGE}"));
@@ -79,7 +95,7 @@ fn main() -> ExitCode {
         if let Err(e) = std::fs::create_dir_all(dir) {
             return fail(&format!("cannot create data dir {}: {e}", dir.display()));
         }
-        match net.open_persistence_all(dir, SyncPolicy::Always) {
+        match net.open_persistence_all(dir, SyncPolicy::Always, codec) {
             Ok(recovered) => {
                 for name in recovered {
                     eprintln!("codb-demo: recovered {name} from {}", dir.display());
@@ -184,7 +200,7 @@ fn main() -> ExitCode {
                 let Some(id) = node_arg(&net, name) else { return ExitCode::FAILURE };
                 net.crash_node(id);
                 let node_dir = CoDbNetwork::node_data_dir(dir, name);
-                match net.restart_node_from_disk(id, &node_dir, SyncPolicy::Always) {
+                match net.restart_node_from_disk(id, &node_dir, SyncPolicy::Always, codec) {
                     Ok(stats) => println!(
                         "recovered {name} from {}: {} tuples (generation {}, {} WAL records{})",
                         node_dir.display(),

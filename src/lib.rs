@@ -70,9 +70,10 @@ pub mod prelude {
         parse_facts, parse_query, parse_rule, ConjunctiveQuery, DatabaseSchema, GlavRule, Instance,
         Relation, RelationSchema, Tuple, Value, ValueType,
     };
-    pub use codb_store::{ProtocolCounters, Store, StoreError, SyncPolicy, WalRecord};
+    pub use codb_store::{Codec, ProtocolCounters, Store, StoreError, SyncPolicy, WalRecord};
     pub use codb_workload::{
-        run_crash_restart, run_fault_plan, CrashRestartPlan, CrashRestartReport, DataDist,
-        FaultPlan, FaultPlanReport, RuleStyle, Scenario, Topology,
+        run_crash_restart, run_fault_plan, run_fault_plan_differential, CodecDifferentialReport,
+        CrashRestartPlan, CrashRestartReport, DataDist, FaultPlan, FaultPlanReport, RuleStyle,
+        Scenario, Topology,
     };
 }

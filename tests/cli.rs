@@ -215,3 +215,74 @@ fn save_and_recover_require_data_dir() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
 }
+
+/// The snapshot files under a node's store directory, by magic prefix.
+fn snap_magics(store_dir: &std::path::Path) -> Vec<[u8; 8]> {
+    let mut magics = Vec::new();
+    for entry in std::fs::read_dir(store_dir).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) == Some("snap") {
+            let bytes = std::fs::read(&path).unwrap();
+            magics.push(bytes[..8].try_into().unwrap());
+        }
+    }
+    magics
+}
+
+#[test]
+fn codec_flag_picks_the_on_disk_format_and_interops() {
+    let config = write_config();
+    let data = TempDir::new("codb-demo-codec");
+    // Life 1: write a JSON store (the legacy format, via the flag).
+    let out = demo()
+        .args([
+            "--data-dir",
+            data.as_str(),
+            "--codec",
+            "json",
+            config.as_str(),
+            "update",
+            "portal",
+            "save",
+            "portal",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let store_dir = std::path::Path::new(data.as_str()).join("portal");
+    assert_eq!(snap_magics(&store_dir), vec![*b"CODBSNP1"], "json format byte on disk");
+
+    // Life 2: reopen under the binary codec — the JSON store recovers
+    // unchanged, and `save` (a checkpoint) converts it in place.
+    let out = demo()
+        .args([
+            "--data-dir",
+            data.as_str(),
+            "--codec",
+            "binary",
+            config.as_str(),
+            "save",
+            "portal",
+            "show",
+            "portal",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"alice\""), "JSON store recovered under binary target:\n{stdout}");
+    assert_eq!(snap_magics(&store_dir), vec![*b"CODBSNP2"], "save rotated the store to binary");
+
+    // Life 3: the binary store recovers under the default codec.
+    let out = demo()
+        .args(["--data-dir", data.as_str(), config.as_str(), "show", "portal"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("\"alice\""));
+
+    // A bogus codec fails cleanly with usage.
+    let out = demo().args(["--codec", "yaml", config.as_str(), "stats"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown codec"));
+}

@@ -84,7 +84,7 @@ fn live_open_recovery_still_triggers_rejoin_invalidation() {
     // Life 1: persist the *seed* state only (no update), tear down.
     {
         let mut net = CoDbNetwork::build(config.clone(), SimConfig::default()).unwrap();
-        net.open_persistence_all(tmp.path(), SyncPolicy::Always).unwrap();
+        net.open_persistence_all(tmp.path(), SyncPolicy::Always, Codec::Binary).unwrap();
     }
 
     // Life 2: run an update first — hr's incremental sent-cache toward
@@ -94,7 +94,8 @@ fn live_open_recovery_still_triggers_rejoin_invalidation() {
     let portal = net.node_id("portal").unwrap();
     net.run_update(portal);
     assert_eq!(net.node(portal).ldb().tuple_count(), 1, "alice materialised");
-    let recovered = net.open_persistence_all(tmp.path(), SyncPolicy::Always).unwrap();
+    let recovered =
+        net.open_persistence_all(tmp.path(), SyncPolicy::Always, Codec::Binary).unwrap();
     assert_eq!(recovered.len(), 2, "{recovered:?}");
     assert_eq!(net.node(portal).ldb().tuple_count(), 0, "rolled back to seed state");
     assert!(net.node(portal).rejoin_pending(), "handshake owed");
@@ -145,7 +146,7 @@ fn state_survives_network_teardown_and_rebuild() {
     // First life: materialise, checkpoint, tear down.
     let (portal_tuples, portal_id) = {
         let mut net = CoDbNetwork::build(config.clone(), SimConfig::default()).unwrap();
-        net.open_persistence_all(tmp.path(), SyncPolicy::Always).unwrap();
+        net.open_persistence_all(tmp.path(), SyncPolicy::Always, Codec::Binary).unwrap();
         let portal = net.node_id("portal").unwrap();
         net.run_update(portal);
         assert!(net.checkpoint_node(portal).unwrap());
@@ -157,7 +158,8 @@ fn state_survives_network_teardown_and_rebuild() {
     // store brings the materialised tuple back.
     let mut net = CoDbNetwork::build(config, SimConfig::default()).unwrap();
     assert_eq!(net.node(portal_id).ldb().tuple_count(), 0);
-    let recovered = net.open_persistence_all(tmp.path(), SyncPolicy::Always).unwrap();
+    let recovered =
+        net.open_persistence_all(tmp.path(), SyncPolicy::Always, Codec::Binary).unwrap();
     assert!(recovered.contains(&"portal".to_owned()), "{recovered:?}");
     assert_eq!(net.node(portal_id).ldb().tuple_count(), 1);
     let q = net.run_query_text(portal_id, "ans(N) :- person(N, A).", false).unwrap();
@@ -177,7 +179,7 @@ fn local_insert_survives_via_wal_replay_alone() {
     let config = NetworkConfig::parse(config_text).unwrap();
     let solo = {
         let mut net = CoDbNetwork::build(config.clone(), SimConfig::default()).unwrap();
-        net.open_persistence_all(tmp.path(), SyncPolicy::Always).unwrap();
+        net.open_persistence_all(tmp.path(), SyncPolicy::Always, Codec::Binary).unwrap();
         let solo = net.node_id("solo").unwrap();
         // No checkpoint after this insert: only the WAL has it.
         net.sim_mut()
@@ -188,7 +190,7 @@ fn local_insert_survives_via_wal_replay_alone() {
         solo
     };
     let mut net = CoDbNetwork::build(config, SimConfig::default()).unwrap();
-    net.open_persistence_all(tmp.path(), SyncPolicy::Always).unwrap();
+    net.open_persistence_all(tmp.path(), SyncPolicy::Always, Codec::Binary).unwrap();
     assert_eq!(net.node(solo).ldb().tuple_count(), 2, "seed + WAL-replayed insert");
 }
 
@@ -201,7 +203,12 @@ fn restart_from_empty_dir_is_refused() {
     let mut net = CoDbNetwork::build(scenario.build_config(), SimConfig::default()).unwrap();
     net.crash_node(NodeId(0));
     let err = net
-        .restart_node_from_disk(NodeId(0), &tmp.path().join("node0"), SyncPolicy::Always)
+        .restart_node_from_disk(
+            NodeId(0),
+            &tmp.path().join("node0"),
+            SyncPolicy::Always,
+            Codec::Binary,
+        )
         .unwrap_err();
     assert!(matches!(err, StoreError::NoState { .. }), "{err}");
 }

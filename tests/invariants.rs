@@ -524,7 +524,7 @@ mod algebra_props {
                 ])).unwrap();
             }
             let snap = codb::relational::Snapshot::capture(&inst, &nulls);
-            let restored = codb::relational::Snapshot::from_bytes(&snap.to_bytes()).unwrap();
+            let restored = codb::relational::Snapshot::from_bytes(&snap.to_bytes().unwrap()).unwrap();
             prop_assert_eq!(restored.instance, inst);
             prop_assert_eq!(restored.nulls.invented(), invented);
         }
