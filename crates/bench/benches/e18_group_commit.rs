@@ -1,0 +1,73 @@
+//! Criterion bench for experiment e18: WAL append throughput on a
+//! many-store single host, per fsync policy — per-record `Always`,
+//! per-store `EveryN`, and the shared group-commit scheduler (one
+//! [`FsyncScheduler`] coalescing every store's fsyncs).
+
+use codb_relational::{Instance, NullFactory, RelationSchema, Snapshot, Tuple, Value, ValueType};
+use codb_store::{
+    Codec, FsyncScheduler, ProtocolCounters, RecvCaches, ScratchDir, Store, SyncPolicy, WalRecord,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+const STORES: usize = 8;
+const RECORDS: u64 = 256;
+const BURST: u64 = 16;
+
+/// Appends `RECORDS` local-insert records across `STORES` stores in
+/// bursts of `BURST`, then flushes — the single-host ingest of E18.
+fn ingest(policy: SyncPolicy) {
+    let sched = FsyncScheduler::for_policy(policy);
+    let mut inst = Instance::new();
+    inst.add_relation(RelationSchema::with_types("r", &[ValueType::Int, ValueType::Int]));
+    let snap = Snapshot::capture(&inst, &NullFactory::new(1));
+    let dirs: Vec<ScratchDir> = (0..STORES).map(|_| ScratchDir::new("bench-e18")).collect();
+    let mut stores: Vec<Store> = dirs
+        .iter()
+        .map(|d| {
+            Store::create_with(
+                d.path(),
+                &snap,
+                &RecvCaches::new(),
+                &ProtocolCounters::default(),
+                policy,
+                Codec::Binary,
+                sched.as_ref(),
+            )
+            .unwrap()
+        })
+        .collect();
+    for k in 0..RECORDS {
+        let target = ((k / BURST).wrapping_mul(7) % STORES as u64) as usize;
+        stores[target]
+            .append(&WalRecord::LocalInsert {
+                relation: "r".into(),
+                tuple: Tuple::new(vec![Value::Int(k as i64), Value::Int(target as i64)]),
+            })
+            .unwrap();
+    }
+    for s in &mut stores {
+        s.sync().unwrap();
+    }
+}
+
+/// E18: many-store single-host append cost per fsync policy.
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e18_group_commit");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for (label, policy) in [
+        ("always", SyncPolicy::Always),
+        ("everyN-8", SyncPolicy::EveryN(8)),
+        ("group-shared", SyncPolicy::GroupCommit { max_batch: 64, max_records: 64 }),
+    ] {
+        g.bench_with_input(BenchmarkId::new(label, RECORDS), &policy, |b, &policy| {
+            b.iter(|| ingest(policy))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

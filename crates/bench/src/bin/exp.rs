@@ -1,6 +1,6 @@
 //! Experiment runner: prints the tables of DESIGN.md §4.
 //!
-//! Usage: `cargo run -p codb-bench --release --bin exp -- [e1 … e17 | all]`
+//! Usage: `cargo run -p codb-bench --release --bin exp -- [e1 … e18 | all]`
 //!
 //! Extra modes:
 //! * `exp --quick` — a seconds-scale smoke run of the full harness
@@ -98,7 +98,7 @@ fn main() {
             .map(|id| {
                 by_id(id).unwrap_or_else(|| {
                     fail(&format!(
-                        "unknown experiment {id:?} (use e1..e17, all, --quick or timeline)"
+                        "unknown experiment {id:?} (use e1..e18, all, --quick or timeline)"
                     ))
                 })
             })

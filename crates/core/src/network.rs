@@ -50,6 +50,12 @@ pub struct CoDbNetwork {
     config: NetworkConfig,
     superpeer: Option<NodeId>,
     settings: NodeSettings,
+    /// The shared group-commit fsync scheduler, created lazily the first
+    /// time persistence is opened under a
+    /// [`codb_store::SyncPolicy::GroupCommit`] policy. One scheduler
+    /// serves every node's store on this (single-host) network, and node
+    /// restarts rejoin it.
+    fsync_sched: Option<codb_store::FsyncScheduler>,
 }
 
 impl CoDbNetwork {
@@ -104,7 +110,7 @@ impl CoDbNetwork {
         } else {
             None
         };
-        let mut net = CoDbNetwork { sim, config, superpeer, settings };
+        let mut net = CoDbNetwork { sim, config, superpeer, settings, fsync_sched: None };
         net.sim.run_until_quiescent(); // process start events (pipes, adverts)
         Ok(net)
     }
@@ -294,12 +300,70 @@ impl CoDbNetwork {
         policy: codb_store::SyncPolicy,
         codec: codb_store::Codec,
     ) -> Result<Option<codb_store::RecoveryStats>, codb_store::StoreError> {
-        self.sim.peer_mut(id.peer()).expect("node exists").open_persistence(dir, policy, codec)
+        let sched = self.scheduler_for(policy)?;
+        self.sim.peer_mut(id.peer()).expect("node exists").open_persistence_with(
+            dir,
+            policy,
+            codec,
+            sched.as_ref(),
+        )
+    }
+
+    /// The network's shared scheduler for `policy`: lazily created on the
+    /// first group-commit open so every node (and every later restart)
+    /// joins the same batching point; `None` for per-store policies. A
+    /// later group-commit open asking for *different* thresholds is a
+    /// typed [`codb_store::StoreError::SchedulerMismatch`] — silently
+    /// joining the existing scheduler would hand the store a durability
+    /// ack window it never agreed to.
+    fn scheduler_for(
+        &mut self,
+        policy: codb_store::SyncPolicy,
+    ) -> Result<Option<codb_store::FsyncScheduler>, codb_store::StoreError> {
+        let codb_store::SyncPolicy::GroupCommit { max_batch, max_records } = policy else {
+            return Ok(None);
+        };
+        match &self.fsync_sched {
+            Some(sched) if sched.max_batch() == max_batch && sched.max_records() == max_records => {
+                Ok(Some(sched.clone()))
+            }
+            // A scheduler no store ever joined (e.g. the open that
+            // created it failed) pins nothing: replace it freely.
+            Some(sched) if sched.stats().registered > 0 => {
+                Err(codb_store::StoreError::SchedulerMismatch {
+                    existing: codb_store::SyncPolicy::GroupCommit {
+                        max_batch: sched.max_batch(),
+                        max_records: sched.max_records(),
+                    }
+                    .to_string(),
+                    requested: policy.to_string(),
+                })
+            }
+            _ => {
+                let sched = codb_store::FsyncScheduler::for_policy(policy);
+                self.fsync_sched = sched.clone();
+                Ok(sched)
+            }
+        }
+    }
+
+    /// The shared group-commit fsync scheduler, if persistence was opened
+    /// under [`codb_store::SyncPolicy::GroupCommit`] — the E18 hook for
+    /// reading drain/fsync counters and for explicit end-of-round
+    /// flushes ([`codb_store::FsyncScheduler::flush_all`]).
+    pub fn fsync_scheduler(&self) -> Option<&codb_store::FsyncScheduler> {
+        self.fsync_sched.as_ref()
     }
 
     /// Opens persistence for every configured node under
     /// `root/<node-name>`. Returns the names of nodes whose state was
     /// recovered from disk (the rest were freshly initialised).
+    ///
+    /// Under [`codb_store::SyncPolicy::GroupCommit`] this constructs
+    /// **one** [`codb_store::FsyncScheduler`] shared by all nodes (see
+    /// [`CoDbNetwork::fsync_scheduler`]): the whole single-host
+    /// deployment batches its WAL fsyncs through a single host-wide
+    /// policy instead of paying one independent fsync stream per store.
     pub fn open_persistence_all(
         &mut self,
         root: &std::path::Path,
@@ -381,8 +445,12 @@ impl CoDbNetwork {
             &self.config.rules,
             self.settings.clone(),
         );
+        // A restart rejoins the network's shared fsync scheduler (if the
+        // policy batches group-wide), so a recovered node's appends
+        // coalesce with its peers' again.
+        let sched = self.scheduler_for(policy)?;
         let stats = node
-            .open_persistence(dir, policy, codec)?
+            .open_persistence_with(dir, policy, codec, sched.as_ref())?
             .expect("Store::exists checked above, so open_persistence recovers");
         self.sim.add_peer(id.peer(), node);
         self.sim.run_until_quiescent();

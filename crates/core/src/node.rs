@@ -252,8 +252,24 @@ impl CoDbNode {
         policy: codb_store::SyncPolicy,
         codec: codb_store::Codec,
     ) -> Result<Option<codb_store::RecoveryStats>, codb_store::StoreError> {
+        self.open_persistence_with(dir, policy, codec, None)
+    }
+
+    /// [`CoDbNode::open_persistence`] with an optional shared group-commit
+    /// scheduler: under [`codb_store::SyncPolicy::GroupCommit`] the
+    /// node's WAL joins `group`, coalescing its fsyncs with every other
+    /// store registered there (the many-node single-host amortisation;
+    /// `CoDbNetwork::open_persistence_all` shares one scheduler across
+    /// all nodes this way). Ignored for per-store policies.
+    pub fn open_persistence_with(
+        &mut self,
+        dir: &std::path::Path,
+        policy: codb_store::SyncPolicy,
+        codec: codb_store::Codec,
+        group: Option<&codb_store::FsyncScheduler>,
+    ) -> Result<Option<codb_store::RecoveryStats>, codb_store::StoreError> {
         if codb_store::Store::exists(dir) {
-            let (store, recovered) = codb_store::Store::open(dir, policy, codec)?;
+            let (store, recovered) = codb_store::Store::open_with(dir, policy, codec, group)?;
             let stats = recovered.stats();
             self.ldb = recovered.instance;
             self.nulls = recovered.nulls;
@@ -273,13 +289,14 @@ impl CoDbNode {
             self.persist = Some(store);
             Ok(Some(stats))
         } else {
-            let store = codb_store::Store::create(
+            let store = codb_store::Store::create_with(
                 dir,
                 &self.snapshot(),
                 &self.recv_cache,
                 &self.counters(),
                 policy,
                 codec,
+                group,
             )?;
             self.persist = Some(store);
             Ok(None)

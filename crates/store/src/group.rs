@@ -1,0 +1,562 @@
+//! The shared group-commit fsync scheduler: one host-wide batching point
+//! for the WALs of many co-located stores.
+//!
+//! Under [`SyncPolicy::EveryN`] every WAL writer keeps a *private*
+//! unsynced-record counter, so a single host running many `codb` nodes
+//! pays one independent fsync stream per store — the opposite of the
+//! amortisation a many-node single-host deployment wants. A
+//! [`FsyncScheduler`] replaces those private counters with one host-wide
+//! policy ([`SyncPolicy::GroupCommit`]): writers *register* with the
+//! scheduler, report every append, and the scheduler **drains** — one
+//! fsync pass over all dirty files — when either threshold trips:
+//!
+//! * `max_records` — host-wide cap on appended-but-unsynced records
+//!   across every registered store; the append that reaches it forces a
+//!   drain. This is the durability ack window: a record is acked durable
+//!   only once a drain (or explicit flush) covers it, and at most
+//!   `max_records` appended-but-unacked records exist host-wide at any
+//!   moment.
+//! * `max_batch` — cap on distinct dirty stores coalesced into one
+//!   drain; reaching it also forces a drain, bounding the length of a
+//!   drain pass (and the staleness of the earliest dirty store).
+//!
+//! A drain fsyncs each dirty file **once**, no matter how many pending
+//! records it holds — that coalescing is where the fsync amortisation
+//! comes from (experiment E18 measures it). The scheduler is
+//! demand-driven: there is no background timer thread (the stores live
+//! inside a deterministic simulator), so a lone pending record stays
+//! unacked until more traffic trips a threshold or a caller flushes
+//! explicitly ([`FsyncScheduler::flush_all`], [`crate::Store::sync`],
+//! checkpoint). Dropping a store does **not** flush — drop models a
+//! crash (the fault harnesses kill nodes by dropping them), so the
+//! pending tail is abandoned, which is safe precisely because it was
+//! never acked.
+//!
+//! **Durability ack semantics** are the same as one store under
+//! [`SyncPolicy::Always`]: a record is never *acked* (reported durable
+//! via [`crate::Store::durable_wal_records`]) before the fsync covering
+//! it completes. Group commit only *defers and batches* the ack; it
+//! never lies. A crash loses at most the pending (never-acked) tail of
+//! each store, and recovery still finds a clean frame prefix — the torn
+//! tail guarantee is untouched because the scheduler changes *when*
+//! fsync runs, not *what* is written.
+//!
+//! Degenerate configurations collapse to per-record durability (tested):
+//! `max_records == 0` drains on every append, and `max_batch <= 1`
+//! drains as soon as any store is dirty — both behave exactly like
+//! [`SyncPolicy::Always`].
+//!
+//! The full written contract lives in `docs/DURABILITY.md` (rendered as
+//! [`crate::durability`]).
+
+use crate::store::StoreError;
+use crate::wal::SyncPolicy;
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// One registered WAL file's slot in the scheduler.
+#[derive(Debug)]
+struct Slot {
+    /// A clone of the writer's file handle — fsyncing it syncs the same
+    /// underlying file, so the scheduler can drain without borrowing the
+    /// writer.
+    file: File,
+    /// The file's path, for error context.
+    path: PathBuf,
+    /// Appended records not yet covered by a fsync.
+    pending: u64,
+    /// Byte length the writer has reported (magic + complete frames).
+    len: u64,
+    /// Records the writer has reported.
+    frames: u64,
+    /// Byte length covered by the last fsync — what survives a crash.
+    durable_len: u64,
+    /// Records covered by the last fsync — the *acked* record count.
+    durable_frames: u64,
+    /// Latched fsync failure. A failed slot leaves the drain rotation
+    /// (its broken fd is never retried, its pending records leave the
+    /// totals so it cannot wedge the thresholds) and the error is
+    /// surfaced to **its own writer's** next append/flush — the owner
+    /// latches it and detaches, exactly like a direct write failure.
+    /// Other stores on the scheduler stay healthy.
+    failed: Option<String>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    max_batch: u64,
+    max_records: u64,
+    next_id: u64,
+    slots: BTreeMap<u64, Slot>,
+    /// Running total of pending records across healthy slots (kept
+    /// incrementally — the append path must not scan every slot).
+    pending_total: u64,
+    /// Running count of healthy slots with `pending > 0`.
+    dirty_stores: u64,
+    /// Ids whose `pending` went 0 → 1 since the last drain — the work
+    /// list a drain visits, so a pass is O(dirty), not O(registered).
+    /// May hold stale entries (flushed or deregistered since); the
+    /// drain skips those by re-checking `pending`.
+    dirty_ids: Vec<u64>,
+    stats: FsyncSchedulerStats,
+}
+
+/// Counters the scheduler keeps about itself (experiment E18 reads
+/// them; they are monotonic over the scheduler's lifetime).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FsyncSchedulerStats {
+    /// Drain passes executed (threshold-triggered or [`flush_all`]).
+    ///
+    /// [`flush_all`]: FsyncScheduler::flush_all
+    pub drains: u64,
+    /// `fdatasync` calls issued (one per dirty file per drain, plus one
+    /// per single-writer flush).
+    pub fsyncs: u64,
+    /// Appends reported by registered writers.
+    pub appends: u64,
+    /// Records whose durability ack was covered by a *shared* drain pass
+    /// (the coalescing the scheduler exists for).
+    pub drained_records: u64,
+    /// Writers currently registered.
+    pub registered: u64,
+    /// Writers that deregistered with pending (never-acked) records —
+    /// a store dropped mid-batch; its unsynced tail was abandoned, which
+    /// is safe because those records were never reported durable.
+    pub abandoned_pending: u64,
+    /// Stores whose fsync failed: each left the drain rotation with its
+    /// error latched, to be surfaced to its own writer's next
+    /// append/flush.
+    pub failed_stores: u64,
+}
+
+/// A cloneable handle to one shared group-commit scheduler. All clones
+/// address the same batching state; a network hands one handle to every
+/// node's store (see `CoDbNetwork::open_persistence_all` in `codb-core`).
+#[derive(Clone)]
+pub struct FsyncScheduler {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl std::fmt::Debug for FsyncScheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.lock();
+        f.debug_struct("FsyncScheduler")
+            .field("max_batch", &inner.max_batch)
+            .field("max_records", &inner.max_records)
+            .field("registered", &inner.slots.len())
+            .field("stats", &inner.stats)
+            .finish()
+    }
+}
+
+impl FsyncScheduler {
+    /// Creates a scheduler with the given thresholds (see the module docs
+    /// for their meaning; `max_records == 0` and `max_batch <= 1` both
+    /// degenerate to per-append draining, i.e. [`SyncPolicy::Always`]
+    /// semantics).
+    pub fn new(max_batch: u64, max_records: u64) -> Self {
+        FsyncScheduler {
+            inner: Arc::new(Mutex::new(Inner {
+                max_batch,
+                max_records,
+                next_id: 0,
+                slots: BTreeMap::new(),
+                pending_total: 0,
+                dirty_stores: 0,
+                dirty_ids: Vec::new(),
+                stats: FsyncSchedulerStats::default(),
+            })),
+        }
+    }
+
+    /// A scheduler configured from `policy` — `Some` only for
+    /// [`SyncPolicy::GroupCommit`]. A writer created under a group-commit
+    /// policy with no shared handle builds its own private scheduler this
+    /// way (correct, but batching only within that one store).
+    pub fn for_policy(policy: SyncPolicy) -> Option<Self> {
+        match policy {
+            SyncPolicy::GroupCommit { max_batch, max_records } => {
+                Some(FsyncScheduler::new(max_batch, max_records))
+            }
+            _ => None,
+        }
+    }
+
+    /// The scheduler a writer/store under `policy` belongs to — the one
+    /// membership rule, used by both [`crate::Store`] and the WAL writer
+    /// so the handle a store reports and the one its writer batches
+    /// through can never diverge: group-commit policies join `shared`
+    /// (or a private scheduler when none is passed); per-store policies
+    /// get `None` even when a handle was passed.
+    pub fn membership(policy: SyncPolicy, shared: Option<&FsyncScheduler>) -> Option<Self> {
+        if !matches!(policy, SyncPolicy::GroupCommit { .. }) {
+            return None;
+        }
+        shared.cloned().or_else(|| Self::for_policy(policy))
+    }
+
+    /// The dirty-store coalescing cap.
+    pub fn max_batch(&self) -> u64 {
+        self.lock().max_batch
+    }
+
+    /// The host-wide pending-record cap (the durability ack window).
+    pub fn max_records(&self) -> u64 {
+        self.lock().max_records
+    }
+
+    /// Snapshot of the scheduler's counters.
+    pub fn stats(&self) -> FsyncSchedulerStats {
+        let mut inner = self.lock();
+        let registered = inner.slots.len() as u64;
+        inner.stats.registered = registered;
+        inner.stats
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        // A panic while the lock was held (poison) cannot corrupt the
+        // bookkeeping in a way recovery doesn't already handle — worst
+        // case some pending counts are stale and the next drain re-syncs
+        // clean files — so recover the guard rather than cascade.
+        self.inner.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Registers a WAL file. `durable_len`/`durable_frames` describe the
+    /// prefix already on stable storage (the magic for a fresh file, the
+    /// recovered valid prefix for a reopened one). Returns the writer id
+    /// used by every later call.
+    pub(crate) fn register(&self, file: File, path: &Path, durable_len: u64, frames: u64) -> u64 {
+        let mut inner = self.lock();
+        let id = inner.next_id;
+        inner.next_id += 1;
+        inner.slots.insert(
+            id,
+            Slot {
+                file,
+                path: path.to_owned(),
+                pending: 0,
+                len: durable_len,
+                frames,
+                durable_len,
+                durable_frames: frames,
+                failed: None,
+            },
+        );
+        id
+    }
+
+    /// Removes a writer. Pending (never-acked) records are abandoned —
+    /// the mid-batch deregistration case: the drained totals shrink and
+    /// the next drain simply no longer visits the file.
+    pub(crate) fn deregister(&self, id: u64) {
+        let mut inner = self.lock();
+        if let Some(slot) = inner.slots.remove(&id) {
+            if slot.pending > 0 && slot.failed.is_none() {
+                inner.stats.abandoned_pending += slot.pending;
+                inner.pending_total -= slot.pending;
+                inner.dirty_stores -= 1;
+            }
+        }
+    }
+
+    /// Reports one append by writer `id` (`len`/`frames` are the file's
+    /// new totals) and drains if a threshold trips. Returns the latched
+    /// error if this writer's own fsync failed (now or in an earlier
+    /// drain) — the owner latches it and detaches, like any write error.
+    pub(crate) fn note_append(&self, id: u64, len: u64, frames: u64) -> Result<(), StoreError> {
+        let mut inner = self.lock();
+        inner.stats.appends += 1;
+        let was_clean = {
+            let slot = inner.slots.get_mut(&id).expect("writer registered with this scheduler");
+            if let Some(detail) = &slot.failed {
+                return Err(StoreError::Io { file: slot.path.clone(), detail: detail.clone() });
+            }
+            let was_clean = slot.pending == 0;
+            slot.pending += 1;
+            slot.len = len;
+            slot.frames = frames;
+            was_clean
+        };
+        if was_clean {
+            inner.dirty_stores += 1;
+            inner.dirty_ids.push(id);
+        }
+        inner.pending_total += 1;
+        if inner.pending_total >= inner.max_records.max(1)
+            || inner.dirty_stores >= inner.max_batch.max(1)
+        {
+            drain(&mut inner);
+            // The drain latches failures per slot; only this writer's own
+            // failure is this caller's error.
+            let slot = inner.slots.get(&id).expect("still registered");
+            if let Some(detail) = &slot.failed {
+                return Err(StoreError::Io { file: slot.path.clone(), detail: detail.clone() });
+            }
+        }
+        Ok(())
+    }
+
+    /// Fsyncs writer `id`'s file now, regardless of thresholds (explicit
+    /// [`crate::Store::sync`], checkpoint, close). Other writers' pending
+    /// records stay pending.
+    pub(crate) fn flush_writer(&self, id: u64) -> Result<(), StoreError> {
+        let mut inner = self.lock();
+        let (pending, outcome) = {
+            let slot = inner.slots.get_mut(&id).expect("writer registered with this scheduler");
+            if let Some(detail) = &slot.failed {
+                return Err(StoreError::Io { file: slot.path.clone(), detail: detail.clone() });
+            }
+            let pending = slot.pending;
+            slot.pending = 0;
+            if slot.durable_len == slot.len {
+                // Nothing new on disk; the watermark is already current.
+                (pending, Ok(false))
+            } else {
+                match slot.file.sync_data() {
+                    Ok(()) => {
+                        slot.durable_len = slot.len;
+                        slot.durable_frames = slot.frames;
+                        (pending, Ok(true))
+                    }
+                    Err(e) => {
+                        let detail = e.to_string();
+                        slot.failed = Some(detail.clone());
+                        (pending, Err(StoreError::Io { file: slot.path.clone(), detail }))
+                    }
+                }
+            }
+        };
+        if pending > 0 {
+            inner.pending_total -= pending;
+            inner.dirty_stores -= 1;
+        }
+        match outcome {
+            Ok(synced) => {
+                if synced {
+                    inner.stats.fsyncs += 1;
+                }
+                Ok(())
+            }
+            Err(e) => {
+                inner.stats.failed_stores += 1;
+                Err(e)
+            }
+        }
+    }
+
+    /// Drains every dirty writer now — the harness / shutdown hook.
+    /// Fsync failures are latched per slot (surfaced to each owner's
+    /// next append/flush), never returned here.
+    pub fn flush_all(&self) {
+        let mut inner = self.lock();
+        if inner.dirty_stores > 0 {
+            drain(&mut inner);
+        }
+    }
+
+    /// The durable watermark of writer `id`: `(bytes, records)` covered
+    /// by fsync — exactly what survives a host crash.
+    pub(crate) fn durable_of(&self, id: u64) -> (u64, u64) {
+        let inner = self.lock();
+        let slot = inner.slots.get(&id).expect("writer registered with this scheduler");
+        (slot.durable_len, slot.durable_frames)
+    }
+}
+
+/// One drain pass: fsync each dirty healthy file once, advance its
+/// durable watermark, clear its pending count. An fsync failure is
+/// latched on **that slot** (it leaves the drain rotation and its owner
+/// sees the error at its next append/flush — never a bystander whose
+/// append merely tripped the threshold) and the pass continues over the
+/// remaining stores, so one bad disk cannot poison the whole scheduler.
+fn drain(inner: &mut Inner) {
+    inner.stats.drains += 1;
+    let mut acked = 0u64;
+    let mut removed = 0u64;
+    let mut fsyncs = 0u64;
+    let mut failed = 0u64;
+    let mut visited = 0u64;
+    // Only the stores that went dirty since the last drain, not every
+    // registered slot — stale entries (flushed/deregistered since) fall
+    // through the pending re-check.
+    for id in std::mem::take(&mut inner.dirty_ids) {
+        let Some(slot) = inner.slots.get_mut(&id) else { continue };
+        if slot.pending == 0 || slot.failed.is_some() {
+            continue;
+        }
+        visited += 1;
+        removed += slot.pending;
+        match slot.file.sync_data() {
+            Ok(()) => {
+                fsyncs += 1;
+                acked += slot.pending;
+                slot.durable_len = slot.len;
+                slot.durable_frames = slot.frames;
+            }
+            Err(e) => {
+                // These pending records can never be acked; they leave
+                // the totals so the dead slot cannot wedge the window.
+                slot.failed = Some(e.to_string());
+                failed += 1;
+            }
+        }
+        slot.pending = 0;
+    }
+    inner.pending_total -= removed;
+    inner.dirty_stores -= visited;
+    inner.stats.fsyncs += fsyncs;
+    inner.stats.drained_records += acked;
+    inner.stats.failed_stores += failed;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wal::{SyncPolicy, WalRecord, WalWriter};
+    use crate::{Codec, ScratchDir};
+    use codb_relational::{Tuple, Value};
+
+    fn record(k: i64) -> WalRecord {
+        WalRecord::LocalInsert { relation: "r".into(), tuple: Tuple::new(vec![Value::Int(k)]) }
+    }
+
+    fn writer(
+        dir: &ScratchDir,
+        name: &str,
+        policy: SyncPolicy,
+        sched: &FsyncScheduler,
+    ) -> WalWriter {
+        WalWriter::create_with(&dir.path().join(name), policy, Codec::Binary, Some(sched)).unwrap()
+    }
+
+    #[test]
+    fn drains_coalesce_across_writers_on_the_record_threshold() {
+        let dir = ScratchDir::new("group-coalesce");
+        let policy = SyncPolicy::GroupCommit { max_batch: 64, max_records: 6 };
+        let sched = FsyncScheduler::for_policy(policy).unwrap();
+        let mut a = writer(&dir, "a.wal", policy, &sched);
+        let mut b = writer(&dir, "b.wal", policy, &sched);
+        // Five appends across two files: below the threshold, nothing is
+        // acked durable yet.
+        for k in 0..3 {
+            a.append(&record(k)).unwrap();
+        }
+        for k in 0..2 {
+            b.append(&record(k)).unwrap();
+        }
+        assert_eq!(sched.stats().fsyncs, 0);
+        assert_eq!(a.durable_frames(), 0);
+        assert_eq!(b.durable_frames(), 0);
+        // The sixth append trips max_records: one drain, two fsyncs (one
+        // per dirty file), everything acked.
+        b.append(&record(2)).unwrap();
+        let stats = sched.stats();
+        assert_eq!(stats.drains, 1);
+        assert_eq!(stats.fsyncs, 2, "one fsync per dirty file, not per record");
+        assert_eq!(stats.drained_records, 6);
+        assert_eq!(a.durable_frames(), 3);
+        assert_eq!(b.durable_frames(), 3);
+        assert_eq!(a.durable_len(), a.len());
+        assert_eq!(b.durable_len(), b.len());
+    }
+
+    #[test]
+    fn dirty_store_threshold_forces_a_drain() {
+        let dir = ScratchDir::new("group-batch");
+        let policy = SyncPolicy::GroupCommit { max_batch: 2, max_records: 1_000 };
+        let sched = FsyncScheduler::for_policy(policy).unwrap();
+        let mut a = writer(&dir, "a.wal", policy, &sched);
+        let mut b = writer(&dir, "b.wal", policy, &sched);
+        a.append(&record(0)).unwrap();
+        assert_eq!(sched.stats().drains, 0, "one dirty store, below max_batch");
+        b.append(&record(0)).unwrap();
+        assert_eq!(sched.stats().drains, 1, "second dirty store trips max_batch");
+        assert_eq!(a.durable_frames(), 1);
+        assert_eq!(b.durable_frames(), 1);
+    }
+
+    #[test]
+    fn degenerate_configs_behave_like_always() {
+        // max_records = 0: every append drains. max_batch = 1: the
+        // appending store is dirty, so every append drains. Both give
+        // per-record ack — SyncPolicy::Always semantics.
+        let dir = ScratchDir::new("group-degenerate");
+        for policy in [
+            SyncPolicy::GroupCommit { max_batch: 64, max_records: 0 },
+            SyncPolicy::GroupCommit { max_batch: 1, max_records: 1_000 },
+        ] {
+            let sched = FsyncScheduler::for_policy(policy).unwrap();
+            let name = format!("{policy}.wal").replace([':', ','], "-");
+            let mut w = writer(&dir, &name, policy, &sched);
+            for k in 0..4 {
+                w.append(&record(k)).unwrap();
+                assert_eq!(w.durable_frames(), (k + 1) as u64, "{policy}: acked per append");
+                assert_eq!(w.durable_len(), w.len(), "{policy}");
+            }
+            assert_eq!(sched.stats().fsyncs, 4, "{policy}: one fsync per append");
+        }
+    }
+
+    #[test]
+    fn deregistration_mid_batch_abandons_pending_and_keeps_draining() {
+        let dir = ScratchDir::new("group-dereg");
+        let policy = SyncPolicy::GroupCommit { max_batch: 64, max_records: 4 };
+        let sched = FsyncScheduler::for_policy(policy).unwrap();
+        let mut a = writer(&dir, "a.wal", policy, &sched);
+        let mut b = writer(&dir, "b.wal", policy, &sched);
+        a.append(&record(0)).unwrap();
+        b.append(&record(0)).unwrap();
+        b.append(&record(1)).unwrap();
+        // Drop `b` mid-batch: its two pending records leave the totals
+        // (they were never acked, so nothing durable is lost).
+        drop(b);
+        let stats = sched.stats();
+        assert_eq!(stats.abandoned_pending, 2);
+        assert_eq!(stats.registered, 1);
+        // The survivor's traffic still reaches the (unchanged) record
+        // threshold and drains only the live file.
+        a.append(&record(1)).unwrap();
+        a.append(&record(2)).unwrap();
+        a.append(&record(3)).unwrap();
+        let stats = sched.stats();
+        assert_eq!(stats.drains, 1);
+        assert_eq!(stats.fsyncs, 1, "only the surviving file is in the pass");
+        assert_eq!(a.durable_frames(), 4);
+    }
+
+    #[test]
+    fn explicit_flush_acks_one_writer_without_draining_others() {
+        let dir = ScratchDir::new("group-flush");
+        let policy = SyncPolicy::GroupCommit { max_batch: 64, max_records: 1_000 };
+        let sched = FsyncScheduler::for_policy(policy).unwrap();
+        let mut a = writer(&dir, "a.wal", policy, &sched);
+        let mut b = writer(&dir, "b.wal", policy, &sched);
+        a.append(&record(0)).unwrap();
+        b.append(&record(0)).unwrap();
+        a.sync().unwrap();
+        assert_eq!(a.durable_frames(), 1, "explicit sync acks immediately");
+        assert_eq!(b.durable_frames(), 0, "other writers stay pending");
+        // flush_all drains the rest; a second flush_all is a no-op.
+        sched.flush_all();
+        assert_eq!(b.durable_frames(), 1);
+        let fsyncs = sched.stats().fsyncs;
+        sched.flush_all();
+        assert_eq!(sched.stats().fsyncs, fsyncs, "nothing dirty, nothing synced");
+    }
+
+    #[test]
+    fn private_scheduler_is_built_when_no_handle_is_shared() {
+        // A group-commit writer without a shared handle gets a private
+        // scheduler: batching within one store, same ack semantics.
+        let dir = ScratchDir::new("group-private");
+        let policy = SyncPolicy::GroupCommit { max_batch: 64, max_records: 2 };
+        let path = dir.path().join("solo.wal");
+        let mut w = WalWriter::create(&path, policy, Codec::Binary).unwrap();
+        w.append(&record(0)).unwrap();
+        assert_eq!(w.durable_frames(), 0, "below the window, unacked");
+        w.append(&record(1)).unwrap();
+        assert_eq!(w.durable_frames(), 2, "window reached, drained");
+    }
+}

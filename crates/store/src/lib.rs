@@ -6,8 +6,17 @@
 //! Our nodes are in-memory; this crate gives them the missing durability:
 //! an append-only, checksummed **write-ahead log** of applied update
 //! deltas plus periodic **snapshot** files, with log rotation/compaction
-//! after each snapshot and a recovery path that tolerates a torn final
-//! frame.
+//! after each snapshot, a recovery path that tolerates a torn final
+//! frame, and a shared **group-commit fsync scheduler**
+//! ([`FsyncScheduler`], [`SyncPolicy::GroupCommit`]) that coalesces the
+//! fsyncs of many co-located stores.
+//!
+//! **The normative durability contract lives in [`durability`]**
+//! (rendered from `docs/DURABILITY.md`): what each [`SyncPolicy`]
+//! guarantees, the ack rule, loss windows, torn-tail vs corrupt-frame
+//! handling, epoch semantics and codec upgrade-on-rotation. The notes
+//! below describe mechanisms; the contract page wins on any
+//! disagreement.
 //!
 //! ## On-disk format
 //!
@@ -95,6 +104,7 @@
 
 pub mod codec;
 pub mod frame;
+pub mod group;
 pub mod scratch;
 pub mod store;
 pub mod wal;
@@ -102,5 +112,15 @@ pub mod wal;
 pub use crate::store::{RecoveredState, RecoveryStats, Store, StoreError};
 pub use codec::Codec;
 pub use frame::{crc32, SNAP_MAGIC, WAL_MAGIC};
+pub use group::{FsyncScheduler, FsyncSchedulerStats};
 pub use scratch::ScratchDir;
 pub use wal::{ProtocolCounters, RecvCaches, SyncPolicy, WalRecord};
+
+/// The normative durability contract, rendered from `docs/DURABILITY.md`
+/// — the single written source of truth for what each [`SyncPolicy`]
+/// guarantees, the on-disk layout, torn-tail vs corrupt-frame handling,
+/// epoch/rejoin semantics and codec upgrade-on-rotation. Including the
+/// file here makes `cargo doc -D warnings` resolve its intra-doc links,
+/// so the contract and the code cannot silently drift.
+#[doc = include_str!("../../../docs/DURABILITY.md")]
+pub mod durability {}

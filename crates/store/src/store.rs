@@ -5,6 +5,7 @@
 
 use crate::codec::{self, Codec, MAGIC_LEN};
 use crate::frame::{encode_frame, FrameScanner, FrameStep};
+use crate::group::FsyncScheduler;
 use crate::wal::{read_wal, ProtocolCounters, RecvCaches, SyncPolicy, WalRecord, WalWriter};
 use codb_relational::{apply_firings, Instance, NullFactory, Snapshot, SnapshotError};
 use std::fmt;
@@ -68,6 +69,16 @@ pub enum StoreError {
         /// What went wrong.
         detail: String,
     },
+    /// A group-commit open asked for thresholds different from the
+    /// shared [`crate::FsyncScheduler`] it would join. Loud on purpose:
+    /// silently joining the existing scheduler would give the store a
+    /// durability ack window it never agreed to.
+    SchedulerMismatch {
+        /// The shared scheduler's policy (as `group:RECORDS,BATCH`).
+        existing: String,
+        /// The policy this open requested.
+        requested: String,
+    },
 }
 
 impl StoreError {
@@ -95,6 +106,13 @@ impl fmt::Display for StoreError {
             }
             StoreError::Epoch { dir, detail } => {
                 write!(f, "incarnation counter under {}: {detail}", dir.display())
+            }
+            StoreError::SchedulerMismatch { existing, requested } => {
+                write!(
+                    f,
+                    "group-commit policy {requested} differs from the shared fsync scheduler's \
+                     {existing}"
+                )
             }
         }
     }
@@ -179,6 +197,11 @@ pub struct Store {
     /// another codec (its own format byte wins) until the next rotation.
     codec: Codec,
     writer: WalWriter,
+    /// Group-commit scheduler this store's WAL writers join (shared
+    /// across stores when the caller passed one, private otherwise).
+    /// `Some` iff the policy is [`SyncPolicy::GroupCommit`]; rotation
+    /// re-registers the fresh WAL with the same scheduler.
+    sched: Option<FsyncScheduler>,
 }
 
 fn snap_path(dir: &Path, generation: u64) -> PathBuf {
@@ -285,6 +308,9 @@ impl Store {
     /// given state: writes the generation-0 snapshot and an empty WAL
     /// headed by a cache checkpoint plus a protocol-counter checkpoint,
     /// both in `codec`. Refuses to clobber an existing store.
+    ///
+    /// Equivalent to [`Store::create_with`] without a shared scheduler
+    /// (a [`SyncPolicy::GroupCommit`] policy then batches privately).
     pub fn create(
         dir: &Path,
         snapshot: &Snapshot,
@@ -293,11 +319,29 @@ impl Store {
         policy: SyncPolicy,
         codec: Codec,
     ) -> Result<Store, StoreError> {
+        Self::create_with(dir, snapshot, recv, counters, policy, codec, None)
+    }
+
+    /// [`Store::create`] with an optional shared group-commit scheduler:
+    /// under [`SyncPolicy::GroupCommit`] this store's WAL joins `group`
+    /// (or a private scheduler built from the policy when `None`), so
+    /// fsyncs coalesce with every other store registered there. Ignored
+    /// for the per-store policies.
+    pub fn create_with(
+        dir: &Path,
+        snapshot: &Snapshot,
+        recv: &RecvCaches,
+        counters: &ProtocolCounters,
+        policy: SyncPolicy,
+        codec: Codec,
+        group: Option<&FsyncScheduler>,
+    ) -> Result<Store, StoreError> {
         std::fs::create_dir_all(dir).map_err(|e| StoreError::io(dir, e))?;
         if Store::exists(dir) {
             return Err(StoreError::AlreadyExists { dir: dir.to_owned() });
         }
-        let mut writer = WalWriter::create(&wal_path(dir, 0), policy, codec)?;
+        let sched = FsyncScheduler::membership(policy, group);
+        let mut writer = WalWriter::create_with(&wal_path(dir, 0), policy, codec, sched.as_ref())?;
         writer.append(&WalRecord::Caches { recv: recv.clone() })?;
         writer.append(&WalRecord::Counters { counters: *counters })?;
         writer.sync()?;
@@ -306,7 +350,7 @@ impl Store {
         // always has its incarnation counter.
         write_epoch(dir, 0)?;
         write_snapshot_file(&snap_path(dir, 0), snapshot, codec)?;
-        Ok(Store { dir: dir.to_owned(), generation: 0, policy, codec, writer })
+        Ok(Store { dir: dir.to_owned(), generation: 0, policy, codec, writer, sched })
     }
 
     /// Opens an existing store: loads the latest valid snapshot, replays
@@ -324,6 +368,19 @@ impl Store {
         policy: SyncPolicy,
         codec: Codec,
     ) -> Result<(Store, RecoveredState), StoreError> {
+        Self::open_with(dir, policy, codec, None)
+    }
+
+    /// [`Store::open`] with an optional shared group-commit scheduler
+    /// (see [`Store::create_with`]). The recovered valid WAL prefix is
+    /// registered with the scheduler as already durable.
+    pub fn open_with(
+        dir: &Path,
+        policy: SyncPolicy,
+        codec: Codec,
+        group: Option<&FsyncScheduler>,
+    ) -> Result<(Store, RecoveredState), StoreError> {
+        let sched = FsyncScheduler::membership(policy, group);
         let snaps = list_generations(dir, ".snap")?;
         if snaps.is_empty() {
             return Err(StoreError::NoState { dir: dir.to_owned() });
@@ -350,12 +407,13 @@ impl Store {
         let wal = wal_path(dir, generation);
         let (writer, records, torn_tail) = if wal.is_file() {
             let contents = read_wal(&wal)?;
-            let writer = WalWriter::open_append(
+            let writer = WalWriter::open_append_with(
                 &wal,
                 policy,
                 contents.codec,
                 contents.valid_len,
                 contents.records.len() as u64,
+                sched.as_ref(),
             )?;
             (writer, contents.records, contents.torn_tail)
         } else {
@@ -366,7 +424,7 @@ impl Store {
             // fresh file carries its own format byte) so the every-WAL-
             // starts-with-Caches invariant holds and the loss is visible
             // in the replayed records rather than silently assumed.
-            let mut w = WalWriter::create(&wal, policy, codec)?;
+            let mut w = WalWriter::create_with(&wal, policy, codec, sched.as_ref())?;
             let caches = WalRecord::Caches { recv: RecvCaches::new() };
             w.append(&caches)?;
             w.sync()?;
@@ -399,7 +457,7 @@ impl Store {
         }
 
         let wal_codec = writer.codec();
-        let store = Store { dir: dir.to_owned(), generation, policy, codec, writer };
+        let store = Store { dir: dir.to_owned(), generation, policy, codec, writer, sched };
         store.remove_other_generations()?;
         // Each open is a new incarnation: bump the persisted epoch so the
         // recovered node's envelopes outrank its previous life's. A
@@ -454,7 +512,12 @@ impl Store {
         // checkpoint, (2) the snapshot rename as the commit point, (3) the
         // old generation's deletion. A crash between any two steps leaves
         // at least one complete generation.
-        let mut writer = WalWriter::create(&wal_path(&self.dir, next), self.policy, self.codec)?;
+        let mut writer = WalWriter::create_with(
+            &wal_path(&self.dir, next),
+            self.policy,
+            self.codec,
+            self.sched.as_ref(),
+        )?;
         writer.append(&WalRecord::Caches { recv: recv.clone() })?;
         writer.append(&WalRecord::Counters { counters: *counters })?;
         writer.sync()?;
@@ -525,6 +588,46 @@ impl Store {
     /// Records in the current WAL (cache checkpoint included).
     pub fn wal_records(&self) -> u64 {
         self.writer.frames()
+    }
+
+    /// The live WAL file's path (the file a host-crash simulation
+    /// truncates to the durable watermark).
+    pub fn wal_path(&self) -> &Path {
+        self.writer.path()
+    }
+
+    /// The sync policy this store runs under.
+    pub fn policy(&self) -> SyncPolicy {
+        self.policy
+    }
+
+    /// Records of the live WAL covered by fsync — the *acked durable*
+    /// count. Every policy obeys the same ack rule (a record is durable
+    /// only once an fsync covering it completed); they differ in how far
+    /// this watermark may trail [`Store::wal_records`]. See
+    /// `docs/DURABILITY.md` ([`crate::durability`]).
+    pub fn durable_wal_records(&self) -> u64 {
+        self.writer.durable_frames()
+    }
+
+    /// Bytes of the live WAL covered by fsync — what survives a host
+    /// crash (always a clean frame boundary).
+    pub fn durable_wal_len(&self) -> u64 {
+        self.writer.durable_len()
+    }
+
+    /// Data fsyncs the live WAL's writer itself performed (group-commit
+    /// drains are counted by the scheduler; see
+    /// [`FsyncScheduler::stats`]). Per-generation: rotation starts a
+    /// fresh writer.
+    pub fn wal_fsyncs(&self) -> u64 {
+        self.writer.fsyncs()
+    }
+
+    /// The group-commit scheduler this store participates in, if its
+    /// policy is [`SyncPolicy::GroupCommit`].
+    pub fn scheduler(&self) -> Option<&FsyncScheduler> {
+        self.sched.as_ref()
     }
 }
 
@@ -714,6 +817,74 @@ mod tests {
         assert_eq!(rec.instance, inst, "state survives the codec conversion");
         assert_eq!(rec.nulls.invented(), nulls.invented());
         assert_eq!(rec.recv_cache, recv);
+    }
+
+    #[test]
+    fn shared_group_commit_survives_rotation_and_host_crash_truncation() {
+        // Two stores share one scheduler. Appends coalesce; a checkpoint
+        // rotates one store's WAL (re-registering the fresh file); a
+        // simulated host crash — truncating each live WAL to its durable
+        // watermark — must recover every acked record on both stores.
+        let policy = SyncPolicy::GroupCommit { max_batch: 64, max_records: 4 };
+        let sched = FsyncScheduler::for_policy(policy).unwrap();
+        let dir_a = ScratchDir::new("store-group-a");
+        let dir_b = ScratchDir::new("store-group-b");
+        let (inst, nulls) = seed();
+        let snap = Snapshot::capture(&inst, &nulls);
+        let mk = |dir: &ScratchDir| {
+            Store::create_with(
+                dir.path(),
+                &snap,
+                &RecvCaches::new(),
+                &ProtocolCounters::default(),
+                policy,
+                Codec::Binary,
+                Some(&sched),
+            )
+            .unwrap()
+        };
+        let mut a = mk(&dir_a);
+        let mut b = mk(&dir_b);
+        assert!(a.scheduler().is_some());
+
+        // Rotate `a`: the fresh WAL joins the same scheduler.
+        a.checkpoint(&snap, &RecvCaches::new(), &ProtocolCounters::default()).unwrap();
+        assert_eq!(a.generation(), 1);
+
+        let insert = |k: i64| WalRecord::LocalInsert { relation: "r".into(), tuple: tup![k, k] };
+        // Three appends: under the 4-record window, none acked yet.
+        a.append(&insert(100)).unwrap();
+        a.append(&insert(101)).unwrap();
+        b.append(&insert(200)).unwrap();
+        assert_eq!(a.durable_wal_records(), 2, "rotation checkpoint head only");
+        assert_eq!(b.durable_wal_records(), 2, "creation checkpoint head only");
+        // Fourth append trips the window: one drain covers both files.
+        b.append(&insert(201)).unwrap();
+        assert_eq!(a.durable_wal_records(), 4);
+        assert_eq!(b.durable_wal_records(), 4);
+        // A fifth append stays pending — the record a host crash loses.
+        a.append(&insert(102)).unwrap();
+        assert_eq!(a.durable_wal_records(), 4);
+        let acked_a = a.durable_wal_records();
+        let durable_len_a = a.durable_wal_len();
+        let (wal_a, wal_b) = (a.wal_path().to_owned(), b.wal_path().to_owned());
+        let durable_len_b = b.durable_wal_len();
+        drop(a);
+        drop(b);
+
+        // Host crash: the unsynced tail vanishes (page cache lost).
+        let full_a = std::fs::read(&wal_a).unwrap();
+        assert!(durable_len_a < full_a.len() as u64, "a pending tail existed");
+        std::fs::write(&wal_a, &full_a[..durable_len_a as usize]).unwrap();
+        let full_b = std::fs::read(&wal_b).unwrap();
+        assert_eq!(durable_len_b, full_b.len() as u64, "b was fully drained");
+
+        let (_, rec_a) = Store::open(dir_a.path(), policy, Codec::Binary).unwrap();
+        assert_eq!(rec_a.wal_records_replayed, acked_a, "every acked record recovered");
+        assert!(rec_a.instance.get("r").unwrap().contains(&tup![101, 101]));
+        assert!(!rec_a.instance.get("r").unwrap().contains(&tup![102, 102]), "unacked tail lost");
+        let (_, rec_b) = Store::open(dir_b.path(), policy, Codec::Binary).unwrap();
+        assert!(rec_b.instance.get("r").unwrap().contains(&tup![201, 201]));
     }
 
     #[test]

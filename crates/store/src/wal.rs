@@ -14,13 +14,16 @@
 
 use crate::codec::{self, Codec, MAGIC_LEN};
 use crate::frame::{encode_frame, FrameScanner, FrameStep};
+use crate::group::FsyncScheduler;
 use crate::store::StoreError;
 use codb_relational::{RuleFiring, Tuple};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
 use std::fs::{File, OpenOptions};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::str::FromStr;
 
 /// Receiver-side per-link dedup caches, exactly as the node keeps them
 /// (`rule name → firing templates already materialised`).
@@ -78,17 +81,96 @@ pub enum WalRecord {
 }
 
 /// When the appender calls `fdatasync`.
+///
+/// Every policy shares one *ack* rule, written down in
+/// `docs/DURABILITY.md` (rendered as [`crate::durability`]): a record
+/// counts as durable — [`crate::Store::durable_wal_records`] — only once
+/// an fsync covering it has completed. The policies differ in *when*
+/// that fsync runs, i.e. how large the window of
+/// appended-but-not-yet-durable records may grow.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SyncPolicy {
     /// After every appended record — full durability, one fsync per delta.
     Always,
-    /// After every `n` appended records (and on checkpoint/close) — bounded
-    /// loss window, amortised fsync cost.
+    /// After every `n` appended records (and at checkpoint or explicit
+    /// [`crate::Store::sync`]) — a *per-store* loss window of up to `n`
+    /// records, amortised fsync cost. On a host running many stores the
+    /// windows add up: each store fsyncs independently.
     EveryN(u64),
-    /// Only on checkpoint/close — fastest; a crash may lose the tail since
-    /// the last checkpoint (it will still be *consistent*: torn frames are
-    /// truncated, never half-applied).
+    /// Only at checkpoint or explicit [`crate::Store::sync`] — fastest;
+    /// a crash may lose the tail since the last checkpoint (it will
+    /// still be *consistent*: torn frames are truncated, never
+    /// half-applied). Dropping the store does **not** flush — drop
+    /// models a crash; sync or checkpoint before a clean shutdown.
     Never,
+    /// Shared group commit via a host-wide [`FsyncScheduler`] (see
+    /// [`crate::group`]): appends across *all* participating stores are
+    /// coalesced and drained — one fsync per dirty store per drain — when
+    /// either `max_records` pending records accumulate host-wide or
+    /// `max_batch` distinct stores are dirty. The loss window is
+    /// host-wide (at most `max_records` never-acked records in flight
+    /// across every store together), in contrast to [`SyncPolicy::EveryN`]
+    /// whose window is per store. `max_records == 0` or `max_batch <= 1`
+    /// degenerate to [`SyncPolicy::Always`] behaviour.
+    GroupCommit {
+        /// Max distinct dirty stores coalesced before a drain is forced.
+        max_batch: u64,
+        /// Max appended-but-unsynced records host-wide before a drain is
+        /// forced (the durability ack window).
+        max_records: u64,
+    },
+}
+
+impl fmt::Display for SyncPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SyncPolicy::Always => write!(f, "always"),
+            SyncPolicy::EveryN(n) => write!(f, "everyN:{n}"),
+            SyncPolicy::Never => write!(f, "never"),
+            SyncPolicy::GroupCommit { max_batch, max_records } => {
+                write!(f, "group:{max_records},{max_batch}")
+            }
+        }
+    }
+}
+
+impl FromStr for SyncPolicy {
+    type Err = String;
+
+    /// Parses the demo CLI's `--sync` syntax:
+    /// `always` | `never` | `everyN:N` | `group[:RECORDS[,BATCH]]`
+    /// (group defaults: 256 records, 64 stores).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        const GROUP_RECORDS_DEFAULT: u64 = 256;
+        const GROUP_BATCH_DEFAULT: u64 = 64;
+        let parse_u64 = |v: &str| {
+            v.parse::<u64>().map_err(|e| format!("bad number {v:?} in sync policy {s:?}: {e}"))
+        };
+        match s {
+            "always" => Ok(SyncPolicy::Always),
+            "never" => Ok(SyncPolicy::Never),
+            "group" => Ok(SyncPolicy::GroupCommit {
+                max_batch: GROUP_BATCH_DEFAULT,
+                max_records: GROUP_RECORDS_DEFAULT,
+            }),
+            _ => {
+                if let Some(n) = s.strip_prefix("everyN:").or_else(|| s.strip_prefix("everyn:")) {
+                    return Ok(SyncPolicy::EveryN(parse_u64(n)?));
+                }
+                if let Some(rest) = s.strip_prefix("group:") {
+                    let (records, batch) = match rest.split_once(',') {
+                        Some((r, b)) => (parse_u64(r)?, parse_u64(b)?),
+                        None => (parse_u64(rest)?, GROUP_BATCH_DEFAULT),
+                    };
+                    return Ok(SyncPolicy::GroupCommit { max_batch: batch, max_records: records });
+                }
+                Err(format!(
+                    "unknown sync policy {s:?} (expected always, never, everyN:N or \
+                     group[:RECORDS[,BATCH]])"
+                ))
+            }
+        }
+    }
 }
 
 /// Appender over one WAL file.
@@ -100,16 +182,59 @@ pub struct WalWriter {
     codec: Codec,
     unsynced: u64,
     frames: u64,
+    /// Bytes written to the file (magic + complete frames).
+    len: u64,
+    /// Bytes covered by the last fsync *this writer* performed (group
+    /// writers track their watermark in the scheduler instead).
+    synced_len: u64,
+    /// Records covered by the last fsync this writer performed.
+    synced_frames: u64,
+    /// `fdatasync`/`sync_all` calls this writer itself issued (group
+    /// drains are counted by the scheduler, not here).
+    fsyncs: u64,
+    /// Group-commit membership: the shared scheduler and this writer's id
+    /// in it. Present iff the policy is [`SyncPolicy::GroupCommit`].
+    group: Option<(FsyncScheduler, u64)>,
 }
 
 impl WalWriter {
     /// Creates a fresh WAL at `path` (truncating any previous file) and
     /// writes the magic header carrying `codec`'s format byte.
+    ///
+    /// Equivalent to [`WalWriter::create_with`] without a shared
+    /// scheduler (a group-commit policy then batches privately).
     pub fn create(path: &Path, policy: SyncPolicy, codec: Codec) -> Result<Self, StoreError> {
+        Self::create_with(path, policy, codec, None)
+    }
+
+    /// [`WalWriter::create`], joining `group` when the policy is
+    /// [`SyncPolicy::GroupCommit`] (ignored otherwise). With a group
+    /// policy and no handle, a private scheduler is built from the
+    /// policy's own thresholds.
+    pub fn create_with(
+        path: &Path,
+        policy: SyncPolicy,
+        codec: Codec,
+        group: Option<&FsyncScheduler>,
+    ) -> Result<Self, StoreError> {
         let mut file = File::create(path).map_err(|e| StoreError::io(path, e))?;
         file.write_all(&codec.wal_magic()).map_err(|e| StoreError::io(path, e))?;
         file.sync_all().map_err(|e| StoreError::io(path, e))?;
-        Ok(WalWriter { file, path: path.to_owned(), policy, codec, unsynced: 0, frames: 0 })
+        let len = MAGIC_LEN as u64;
+        let group = Self::join_group(&file, path, policy, group, len, 0)?;
+        Ok(WalWriter {
+            file,
+            path: path.to_owned(),
+            policy,
+            codec,
+            unsynced: 0,
+            frames: 0,
+            len,
+            synced_len: len,
+            synced_frames: 0,
+            fsyncs: 0,
+            group,
+        })
     }
 
     /// Reopens an existing WAL for appending, truncating a torn tail:
@@ -123,16 +248,62 @@ impl WalWriter {
         valid_len: u64,
         frames: u64,
     ) -> Result<Self, StoreError> {
+        Self::open_append_with(path, policy, codec, valid_len, frames, None)
+    }
+
+    /// [`WalWriter::open_append`] with optional group-commit membership
+    /// (see [`WalWriter::create_with`]). The recovered valid prefix is
+    /// registered as already durable.
+    pub fn open_append_with(
+        path: &Path,
+        policy: SyncPolicy,
+        codec: Codec,
+        valid_len: u64,
+        frames: u64,
+        group: Option<&FsyncScheduler>,
+    ) -> Result<Self, StoreError> {
         let file = OpenOptions::new()
             .read(true)
             .write(true)
             .open(path)
             .map_err(|e| StoreError::io(path, e))?;
         file.set_len(valid_len).map_err(|e| StoreError::io(path, e))?;
-        let mut w = WalWriter { file, path: path.to_owned(), policy, codec, unsynced: 0, frames };
+        let group = Self::join_group(&file, path, policy, group, valid_len, frames)?;
+        let mut w = WalWriter {
+            file,
+            path: path.to_owned(),
+            policy,
+            codec,
+            unsynced: 0,
+            frames,
+            len: valid_len,
+            synced_len: valid_len,
+            synced_frames: frames,
+            fsyncs: 0,
+            group,
+        };
         use std::io::Seek as _;
         w.file.seek(std::io::SeekFrom::End(0)).map_err(|e| StoreError::io(path, e))?;
         Ok(w)
+    }
+
+    /// Registers with the scheduler [`FsyncScheduler::membership`]
+    /// resolves for this policy (the single membership rule shared with
+    /// [`crate::Store`]), if any.
+    fn join_group(
+        file: &File,
+        path: &Path,
+        policy: SyncPolicy,
+        group: Option<&FsyncScheduler>,
+        durable_len: u64,
+        durable_frames: u64,
+    ) -> Result<Option<(FsyncScheduler, u64)>, StoreError> {
+        let Some(sched) = FsyncScheduler::membership(policy, group) else {
+            return Ok(None);
+        };
+        let clone = file.try_clone().map_err(|e| StoreError::io(path, e))?;
+        let id = sched.register(clone, path, durable_len, durable_frames);
+        Ok(Some((sched, id)))
     }
 
     /// Appends one record (encoded in the file's codec), syncing
@@ -143,11 +314,18 @@ impl WalWriter {
         encode_frame(&payload, &mut buf);
         self.file.write_all(&buf).map_err(|e| StoreError::io(&self.path, e))?;
         self.frames += 1;
+        self.len += buf.len() as u64;
         self.unsynced += 1;
         let due = match self.policy {
             SyncPolicy::Always => true,
             SyncPolicy::EveryN(n) => self.unsynced >= n.max(1),
             SyncPolicy::Never => false,
+            SyncPolicy::GroupCommit { .. } => {
+                let (sched, id) = self.group.as_ref().expect("group policy implies membership");
+                sched.note_append(*id, self.len, self.frames)?;
+                self.unsynced = 0; // the scheduler owns the pending count
+                false
+            }
         };
         if due {
             self.sync()?;
@@ -155,9 +333,18 @@ impl WalWriter {
         Ok(())
     }
 
-    /// Forces buffered records to stable storage.
+    /// Forces buffered records to stable storage (through the scheduler
+    /// for group-commit writers, so their watermark and the scheduler's
+    /// agree).
     pub fn sync(&mut self) -> Result<(), StoreError> {
-        self.file.sync_data().map_err(|e| StoreError::io(&self.path, e))?;
+        if let Some((sched, id)) = &self.group {
+            sched.flush_writer(*id)?;
+        } else if self.synced_len != self.len {
+            self.file.sync_data().map_err(|e| StoreError::io(&self.path, e))?;
+            self.fsyncs += 1;
+            self.synced_len = self.len;
+            self.synced_frames = self.frames;
+        }
         self.unsynced = 0;
         Ok(())
     }
@@ -165,6 +352,43 @@ impl WalWriter {
     /// Records appended to this file (including a recovered valid prefix).
     pub fn frames(&self) -> u64 {
         self.frames
+    }
+
+    /// Bytes written to this file (magic + complete frames).
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when the file holds no records (only the magic header).
+    pub fn is_empty(&self) -> bool {
+        self.frames == 0
+    }
+
+    /// Bytes covered by fsync — the prefix guaranteed to survive a host
+    /// crash. For group-commit writers the watermark lives in the
+    /// scheduler (a drain triggered by *another* store's append advances
+    /// it too).
+    pub fn durable_len(&self) -> u64 {
+        match &self.group {
+            Some((sched, id)) => sched.durable_of(*id).0,
+            None => self.synced_len,
+        }
+    }
+
+    /// Records covered by fsync — the *acked durable* record count (see
+    /// [`SyncPolicy`] for the ack rule).
+    pub fn durable_frames(&self) -> u64 {
+        match &self.group {
+            Some((sched, id)) => sched.durable_of(*id).1,
+            None => self.synced_frames,
+        }
+    }
+
+    /// Data fsyncs this writer itself performed after creation (the
+    /// header sync at file creation is excluded, and group-commit drains
+    /// are counted by the scheduler instead) — the E18 measurement hook.
+    pub fn fsyncs(&self) -> u64 {
+        self.fsyncs
     }
 
     /// The codec this file was created with (every append uses it).
@@ -175,6 +399,17 @@ impl WalWriter {
     /// The file path.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+}
+
+impl Drop for WalWriter {
+    /// Deregisters from the group-commit scheduler. Pending (never-acked)
+    /// records are abandoned — exactly the crash semantics the scheduler
+    /// documents for a store dropped mid-batch.
+    fn drop(&mut self) {
+        if let Some((sched, id)) = self.group.take() {
+            sched.deregister(id);
+        }
     }
 }
 
@@ -371,5 +606,51 @@ mod tests {
         drop(w);
         let contents = read_wal(&path).unwrap();
         assert_eq!(contents.records.len(), 2, "appended record decodes as JSON");
+    }
+
+    #[test]
+    fn sync_policy_parses_from_cli_strings_and_round_trips() {
+        for (text, policy) in [
+            ("always", SyncPolicy::Always),
+            ("never", SyncPolicy::Never),
+            ("everyN:8", SyncPolicy::EveryN(8)),
+            ("group", SyncPolicy::GroupCommit { max_batch: 64, max_records: 256 }),
+            ("group:128", SyncPolicy::GroupCommit { max_batch: 64, max_records: 128 }),
+            ("group:128,16", SyncPolicy::GroupCommit { max_batch: 16, max_records: 128 }),
+        ] {
+            assert_eq!(text.parse::<SyncPolicy>().unwrap(), policy, "{text}");
+            // Display output parses back to the same policy.
+            assert_eq!(policy.to_string().parse::<SyncPolicy>().unwrap(), policy);
+        }
+        assert!("everyN".parse::<SyncPolicy>().is_err(), "N is mandatory");
+        assert!("group:x".parse::<SyncPolicy>().is_err());
+        assert!("fsync".parse::<SyncPolicy>().is_err());
+    }
+
+    #[test]
+    fn durable_watermark_tracks_the_policy() {
+        // EveryN(2): records are acked durable only at sync points; the
+        // watermark exposes exactly the prefix a host crash preserves.
+        let dir = ScratchDir::new("wal-watermark");
+        let path = dir.path().join("codb-0000000000.wal");
+        let mut w = WalWriter::create(&path, SyncPolicy::EveryN(2), Codec::Binary).unwrap();
+        w.append(&WalRecord::Caches { recv: RecvCaches::new() }).unwrap();
+        assert_eq!(w.durable_frames(), 0, "below N, unacked");
+        w.append(&WalRecord::Applied { rule: "e".into(), firings: vec![firing(1)] }).unwrap();
+        assert_eq!(w.durable_frames(), 2, "sync point reached");
+        assert_eq!(w.durable_len(), w.len());
+        w.append(&WalRecord::Applied { rule: "e".into(), firings: vec![firing(2)] }).unwrap();
+        assert_eq!(w.durable_frames(), 2, "tail pending again");
+        assert!(w.durable_len() < w.len());
+        // Truncating to the durable watermark (the host-crash model the
+        // faultplan harness applies for real) yields a valid clean prefix
+        // holding exactly the acked records.
+        let durable = w.durable_len();
+        drop(w);
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..durable as usize]).unwrap();
+        let contents = read_wal(&path).unwrap();
+        assert_eq!(contents.records.len(), 2, "every acked record survives");
+        assert!(!contents.torn_tail, "the watermark sits on a frame boundary");
     }
 }

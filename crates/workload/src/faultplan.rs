@@ -51,6 +51,14 @@ pub enum FaultKind {
     Crash,
     /// Checkpoint the node's store: snapshot, WAL rotation, compaction.
     Checkpoint,
+    /// Kill **every live node at once** — the single-host power-loss
+    /// scenario a shared group-commit scheduler must survive (`node` is
+    /// ignored). Combined with [`FaultPlan::lose_unsynced_tail`], each
+    /// store's WAL is chopped to an arbitrary point at or past its
+    /// durable watermark before the restarts — the crash lands *between
+    /// batch formation and drain*, and the runner proves no acked record
+    /// is lost.
+    HostCrash,
 }
 
 /// One scheduled fault.
@@ -90,6 +98,15 @@ pub struct FaultPlan {
     /// independent, so [`run_fault_plan_differential`] can execute the
     /// same plan under both codecs and demand identical outcomes.
     pub codec: Codec,
+    /// Simulate the page-cache loss of a real power cut: when a node (or
+    /// the whole host) crashes, its live WAL is truncated to a seeded
+    /// point at or past the **durable watermark** (the fsync-covered
+    /// prefix; see `codb_store::Store::durable_wal_records`) before the
+    /// restart — appended-but-never-acked records vanish, possibly
+    /// leaving a torn tail. The runner then asserts every *acked* record
+    /// survived recovery. With `false` (the legacy behaviour) crashes
+    /// drop in-memory state only and the full written file survives.
+    pub lose_unsynced_tail: bool,
     /// The update rounds. The generator keeps the last round fault-free
     /// so the network can reconverge.
     pub rounds: Vec<Round>,
@@ -139,12 +156,56 @@ impl FaultPlan {
             rounds.push(Round { initiator, faults });
         }
         let loss = if rng.gen_bool(0.5) { 0.0 } else { 0.08 };
-        FaultPlan { scenario, seed, loss, sync: SyncPolicy::Always, codec: Codec::Binary, rounds }
+        FaultPlan {
+            scenario,
+            seed,
+            loss,
+            sync: SyncPolicy::Always,
+            codec: Codec::Binary,
+            lose_unsynced_tail: false,
+            rounds,
+        }
     }
 
-    /// Total crash faults in the schedule.
+    /// The many-node single-host crash schedule: every node persists
+    /// through one **shared group-commit scheduler** (`max_batch` = node
+    /// count, `max_records` = 8 × node count), the host dies mid-update
+    /// at a seeded event offset — with the unsynced WAL tails lost, i.e.
+    /// the crash lands between batch formation and drain — and every
+    /// node restarts from disk for a clean reconvergence round. The
+    /// runner proves no acked record is lost
+    /// ([`FaultPlanReport::acked_records_preserved`]).
+    pub fn host_crash_group_commit(scenario: Scenario, seed: u64) -> FaultPlan {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x057C_4A5B);
+        let nodes = scenario.topology.node_count() as u64;
+        FaultPlan {
+            scenario,
+            seed,
+            loss: 0.0,
+            sync: SyncPolicy::GroupCommit { max_batch: nodes, max_records: 8 * nodes },
+            codec: Codec::Binary,
+            lose_unsynced_tail: true,
+            rounds: vec![
+                Round {
+                    initiator: scenario.sink(),
+                    faults: vec![Fault {
+                        at_event: rng.gen_range(1u64..80),
+                        node: NodeId(0), // ignored by HostCrash
+                        kind: FaultKind::HostCrash,
+                    }],
+                },
+                Round { initiator: scenario.sink(), faults: vec![] },
+            ],
+        }
+    }
+
+    /// Total crash faults in the schedule (a host crash counts once).
     pub fn crash_count(&self) -> usize {
-        self.rounds.iter().flat_map(|r| &r.faults).filter(|f| f.kind == FaultKind::Crash).count()
+        self.rounds
+            .iter()
+            .flat_map(|r| &r.faults)
+            .filter(|f| matches!(f.kind, FaultKind::Crash | FaultKind::HostCrash))
+            .count()
     }
 }
 
@@ -174,6 +235,15 @@ pub struct FaultPlanReport {
     /// equality (strict without existentials, isomorphic + equal factory
     /// counters with them).
     pub converged: bool,
+    /// Records that were **acked durable** at crash moments (summed over
+    /// every crash with [`FaultPlan::lose_unsynced_tail`] set) — the
+    /// denominator of the no-acked-loss guarantee.
+    pub acked_records_checked: u64,
+    /// True when every restart replayed at least its store's acked
+    /// record count from the same generation — i.e. no record a fsync
+    /// had covered was lost, even though the unsynced tails were
+    /// destroyed. Trivially true when `lose_unsynced_tail` is off.
+    pub acked_records_preserved: bool,
 }
 
 fn settings(loss: f64) -> NodeSettings {
@@ -182,6 +252,63 @@ fn settings(loss: f64) -> NodeSettings {
         pipe: PipeConfig::lan().with_loss(loss),
         ..NodeSettings::default()
     }
+}
+
+/// What must survive a crash, captured the instant before the kill: the
+/// store's durable (fsync-covered, therefore *acked*) WAL watermark.
+struct AckedWatermark {
+    generation: u64,
+    durable_frames: u64,
+    durable_len: u64,
+    wal_path: std::path::PathBuf,
+}
+
+/// Kills `id` if it is alive, banking its rejoin-message counts. With
+/// `lose_tail`, first captures the store's durable watermark and — once
+/// the store handle is gone — chops the live WAL to a seeded point at or
+/// past it: the unsynced tail a power cut would take with it (the cut
+/// may land mid-frame; recovery truncates the torn remainder). Returns
+/// `Some(watermark)` when the node was alive and killed (`Some(None)`
+/// when no tail loss was requested or no store was attached).
+fn kill_node(
+    net: &mut CoDbNetwork,
+    id: NodeId,
+    lose_tail: bool,
+    rng: &mut SmallRng,
+    rejoin_banked: &mut u64,
+) -> Option<Option<AckedWatermark>> {
+    let node = net.sim().peer(id.peer())?;
+    *rejoin_banked += crate::crash::node_rejoin_messages(node.report());
+    let watermark = if lose_tail {
+        node.store().map(|store| AckedWatermark {
+            generation: store.generation(),
+            durable_frames: store.durable_wal_records(),
+            durable_len: store.durable_wal_len(),
+            wal_path: store.wal_path().to_owned(),
+        })
+    } else {
+        None
+    };
+    if !net.crash_node(id) {
+        return None;
+    }
+    if let Some(w) = &watermark {
+        // The fault must actually be injected: a silently skipped chop
+        // would let the no-acked-loss assertions pass without ever
+        // exercising the lost-tail scenario they exist to prove.
+        let meta = std::fs::metadata(&w.wal_path).expect("crashed node's WAL exists on disk");
+        let unsynced = meta.len().saturating_sub(w.durable_len);
+        let cut = w.durable_len + rng.gen_range(0..unsynced + 1);
+        if cut < meta.len() {
+            std::fs::OpenOptions::new()
+                .write(true)
+                .open(&w.wal_path)
+                .expect("reopening the crashed WAL for truncation")
+                .set_len(cut)
+                .expect("truncating the crashed WAL");
+        }
+    }
+    Some(watermark)
 }
 
 /// Runs `plan` against a never-crashed control, persisting every node
@@ -226,6 +353,11 @@ fn run_fault_plan_impl(
     // crash's handshake) must be banked before the kill or the whole-run
     // total silently undercounts on multi-crash schedules.
     let mut rejoin_banked = 0u64;
+    // Seeded chop points for lose_unsynced_tail (deterministic per plan
+    // seed, like everything else) and the no-acked-loss bookkeeping.
+    let mut chop_rng = SmallRng::seed_from_u64(plan.seed ^ 0xC40F_7A11);
+    let mut acked_records_checked = 0u64;
+    let mut acked_records_preserved = true;
     for round in &plan.rounds {
         let round_start = net.sim().events_processed();
         net.sim_mut().inject(
@@ -237,7 +369,7 @@ fn run_fault_plan_impl(
         // plan fields are public and hand-written schedules are a
         // supported use — so the runner tracks *every* node taken down
         // this round and restarts them all.
-        let mut crashed: Vec<NodeId> = Vec::new();
+        let mut crashed: Vec<(NodeId, Option<AckedWatermark>)> = Vec::new();
         for fault in &round.faults {
             // Step the sim clock up to the fault's event offset (or until
             // the round quiesces first — a "late" fault, still applied).
@@ -246,15 +378,39 @@ fn run_fault_plan_impl(
             {}
             match fault.kind {
                 FaultKind::Crash => {
-                    // crash_node returns false for a node already down
+                    // kill_node returns None for a node already down
                     // (e.g. duplicate crash entries), so the restart list
                     // stays duplicate-free.
-                    if net.sim().peer(fault.node.peer()).is_some() {
-                        rejoin_banked +=
-                            crate::crash::node_rejoin_messages(net.node(fault.node).report());
+                    if let Some(w) = kill_node(
+                        &mut net,
+                        fault.node,
+                        plan.lose_unsynced_tail,
+                        &mut chop_rng,
+                        &mut rejoin_banked,
+                    ) {
+                        crashed.push((fault.node, w));
+                        crashes += 1;
                     }
-                    if net.crash_node(fault.node) {
-                        crashed.push(fault.node);
+                }
+                FaultKind::HostCrash => {
+                    // The whole host dies at once: every live node goes
+                    // down mid-whatever-it-was-doing, every store's
+                    // unsynced tail is at risk together — the scenario a
+                    // *shared* fsync scheduler must get right.
+                    let mut any = false;
+                    for nc in &config.nodes {
+                        if let Some(w) = kill_node(
+                            &mut net,
+                            nc.id,
+                            plan.lose_unsynced_tail,
+                            &mut chop_rng,
+                            &mut rejoin_banked,
+                        ) {
+                            crashed.push((nc.id, w));
+                            any = true;
+                        }
+                    }
+                    if any {
                         crashes += 1;
                     }
                 }
@@ -276,10 +432,19 @@ fn run_fault_plan_impl(
         // runs the rejoin handshake to quiescence, so the next initiator
         // (often one of these very nodes) starts from a repaired cache
         // topology.
-        for victim in crashed {
+        for (victim, watermark) in crashed {
             let name = &config.nodes.iter().find(|n| n.id == victim).expect("configured").name;
             let dir = CoDbNetwork::node_data_dir(data_root, name);
-            net.restart_node_from_disk(victim, &dir, plan.sync, plan.codec)?;
+            let stats = net.restart_node_from_disk(victim, &dir, plan.sync, plan.codec)?;
+            if let Some(w) = watermark {
+                // The no-acked-loss guarantee: recovery from the same
+                // generation must replay at least every record that was
+                // acked durable when the crash hit — the chopped tail
+                // held only never-acked records.
+                acked_records_checked += w.durable_frames;
+                acked_records_preserved &= stats.generation == w.generation
+                    && stats.wal_records_replayed >= w.durable_frames;
+            }
         }
     }
 
@@ -323,6 +488,8 @@ fn run_fault_plan_impl(
             factories_equal,
             nodes,
             converged,
+            acked_records_checked,
+            acked_records_preserved,
         },
         final_states,
     ))
@@ -435,6 +602,7 @@ mod tests {
             seed: 7,
             loss: 0.05,
             sync: SyncPolicy::Always,
+            lose_unsynced_tail: false,
             codec: Codec::Binary,
             rounds: vec![
                 Round {
@@ -471,6 +639,7 @@ mod tests {
             seed: 7,
             loss: 0.05,
             sync: SyncPolicy::Always,
+            lose_unsynced_tail: false,
             codec: Codec::Binary, // overridden per run by the harness
             rounds: vec![
                 Round {
@@ -512,6 +681,56 @@ mod tests {
         assert!(report.agreed(), "replay with seed {}: {report:?}", plan.seed);
     }
 
+    /// The many-node single-host tentpole scenario, fixed-seed: eight
+    /// nodes share one group-commit fsync scheduler, the host dies
+    /// mid-update with every unsynced WAL tail destroyed, and after the
+    /// restarts (a) no acked record is lost and (b) the final clean
+    /// round reconverges the network to the never-crashed control.
+    #[test]
+    fn host_crash_with_lost_tails_preserves_acked_records() {
+        let tmp = ScratchDir::new("faultplan-hostcrash");
+        let s = Scenario { tuples_per_node: 12, ..Scenario::quick(Topology::Chain(8)) };
+        let plan = FaultPlan::host_crash_group_commit(s, 11);
+        assert!(matches!(plan.sync, SyncPolicy::GroupCommit { .. }));
+        assert!(plan.lose_unsynced_tail);
+        let report = run_fault_plan(&plan, tmp.path()).unwrap();
+        assert_eq!(report.crashes, 1, "{report:?}");
+        assert!(
+            report.acked_records_checked >= 8 * 2,
+            "every store had at least its checkpoint head acked: {report:?}"
+        );
+        assert!(report.acked_records_preserved, "replay with seed {}: {report:?}", report.seed);
+        assert!(report.converged, "replay with seed {}: {report:?}", report.seed);
+    }
+
+    /// A *targeted* single-node crash with tail loss under a weak
+    /// per-store policy: even EveryN's lazy watermark never loses an
+    /// acked record (the chop respects only what fsync covered).
+    #[test]
+    fn single_crash_with_lost_tail_under_every_n() {
+        let tmp = ScratchDir::new("faultplan-losttail");
+        let s = Scenario { tuples_per_node: 12, ..Scenario::quick(Topology::Chain(4)) };
+        let plan = FaultPlan {
+            scenario: s,
+            seed: 21,
+            loss: 0.0,
+            sync: SyncPolicy::EveryN(3),
+            lose_unsynced_tail: true,
+            codec: Codec::Binary,
+            rounds: vec![
+                Round {
+                    initiator: s.sink(),
+                    faults: vec![Fault { at_event: 14, node: NodeId(1), kind: FaultKind::Crash }],
+                },
+                Round { initiator: s.sink(), faults: vec![] },
+            ],
+        };
+        let report = run_fault_plan(&plan, tmp.path()).unwrap();
+        assert_eq!(report.crashes, 1, "{report:?}");
+        assert!(report.acked_records_preserved, "{report:?}");
+        assert!(report.converged, "{report:?}");
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig { cases: cases(6), ..ProptestConfig::default() })]
 
@@ -544,6 +763,42 @@ mod tests {
             if report.crashes > 0 {
                 prop_assert!(report.rejoin_messages >= 2, "{report:?}");
             }
+        }
+
+        /// The group-commit durability property: for an arbitrary host
+        /// crash point in a shared-scheduler schedule — the crash may
+        /// land anywhere, including between batch formation and the
+        /// drain — with every store's unsynced WAL tail destroyed, no
+        /// acked record is ever lost and the network still reconverges.
+        #[test]
+        fn any_group_commit_crash_point_preserves_acked_records(
+            seed in any::<u64>(),
+            crash_at in 1u64..120,
+            nodes in 3usize..9,
+            rule_style in arb_style(),
+        ) {
+            let scenario = Scenario {
+                tuples_per_node: 8,
+                rule_style,
+                ..Scenario::quick(Topology::Chain(nodes))
+            };
+            let tmp = ScratchDir::new("faultplan-group-prop");
+            let mut plan = FaultPlan::host_crash_group_commit(scenario, seed);
+            // Pin the crash point the property explores (the constructor
+            // seeds one; the property wants the whole range).
+            plan.rounds[0].faults[0].at_event = crash_at;
+            let report = run_fault_plan(&plan, tmp.path()).unwrap();
+            prop_assert!(
+                report.acked_records_preserved,
+                "ACKED RECORD LOST; replay: FaultPlan::host_crash_group_commit(Scenario {{ \
+                 tuples_per_node: 8, rule_style: {rule_style:?}, \
+                 ..Scenario::quick(Topology::Chain({nodes})) }}, {seed}) with at_event = \
+                 {crash_at} → {report:?}"
+            );
+            prop_assert!(
+                report.converged,
+                "NOT reconverged; seed {seed}, crash_at {crash_at}, {nodes} nodes → {report:?}"
+            );
         }
     }
 }

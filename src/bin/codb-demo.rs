@@ -4,7 +4,7 @@
 //! (with `--data-dir`) persist node state across invocations.
 //!
 //! ```text
-//! codb-demo [--data-dir DIR] [--codec json|binary] CONFIG_FILE COMMAND...
+//! codb-demo [--data-dir DIR] [--codec json|binary] [--sync POLICY] CONFIG_FILE COMMAND...
 //!
 //! Options:
 //!   --data-dir DIR                durable stores under DIR/<node>; nodes
@@ -13,6 +13,11 @@
 //!                                 files (default binary); existing stores
 //!                                 recover either format and convert to the
 //!                                 chosen codec at their next save
+//!   --sync POLICY                 WAL fsync policy (default always):
+//!                                 always | never | everyN:N |
+//!                                 group[:RECORDS[,BATCH]] — group shares
+//!                                 one fsync scheduler across every node's
+//!                                 store (see docs/DURABILITY.md)
 //!
 //! Commands (executed in order):
 //!   update NODE                   start a global update at NODE
@@ -35,8 +40,8 @@ use codb::relational::pretty::render_relation;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: codb-demo [--data-dir DIR] [--codec json|binary] CONFIG_FILE \
-    COMMAND...\n\
+const USAGE: &str = "usage: codb-demo [--data-dir DIR] [--codec json|binary] \
+    [--sync always|never|everyN:N|group[:RECORDS[,BATCH]]] CONFIG_FILE COMMAND...\n\
     commands: update NODE | scoped-update NODE REL[,REL] | query NODE 'Q' |\n\
     local-query NODE 'Q' | show NODE | save NODE | recover NODE | stats";
 
@@ -51,6 +56,7 @@ fn main() -> ExitCode {
     // Options first (any order, before the config file).
     let mut data_dir: Option<PathBuf> = None;
     let mut codec = Codec::default();
+    let mut sync = SyncPolicy::Always;
     while let Some(first) = args.first() {
         match first.as_str() {
             "--data-dir" => {
@@ -67,6 +73,16 @@ fn main() -> ExitCode {
                 }
                 codec = match args.remove(0).parse() {
                     Ok(c) => c,
+                    Err(e) => return fail(&format!("{e}\n{USAGE}")),
+                };
+            }
+            "--sync" => {
+                args.remove(0);
+                if args.is_empty() {
+                    return fail(&format!("--sync needs a policy argument\n{USAGE}"));
+                }
+                sync = match args.remove(0).parse() {
+                    Ok(p) => p,
                     Err(e) => return fail(&format!("{e}\n{USAGE}")),
                 };
             }
@@ -95,7 +111,7 @@ fn main() -> ExitCode {
         if let Err(e) = std::fs::create_dir_all(dir) {
             return fail(&format!("cannot create data dir {}: {e}", dir.display()));
         }
-        match net.open_persistence_all(dir, SyncPolicy::Always, codec) {
+        match net.open_persistence_all(dir, sync, codec) {
             Ok(recovered) => {
                 for name in recovered {
                     eprintln!("codb-demo: recovered {name} from {}", dir.display());
@@ -200,7 +216,7 @@ fn main() -> ExitCode {
                 let Some(id) = node_arg(&net, name) else { return ExitCode::FAILURE };
                 net.crash_node(id);
                 let node_dir = CoDbNetwork::node_data_dir(dir, name);
-                match net.restart_node_from_disk(id, &node_dir, SyncPolicy::Always, codec) {
+                match net.restart_node_from_disk(id, &node_dir, sync, codec) {
                     Ok(stats) => println!(
                         "recovered {name} from {}: {} tuples (generation {}, {} WAL records{})",
                         node_dir.display(),

@@ -48,15 +48,24 @@
 //! relational engine with marked nulls and GLAV rules), [`net`] (the
 //! deterministic discrete-event P2P simulator standing in for JXTA),
 //! [`core`] (the coDB node and its distributed algorithms), [`store`]
-//! (the durable storage engine: WAL + snapshots + crash recovery) and
-//! [`workload`] (topology/data/crash-scenario generators for the
-//! experiments).
+//! (the durable storage engine: WAL + snapshots + crash recovery +
+//! shared group-commit fsync scheduling) and [`workload`]
+//! (topology/data/crash-scenario generators for the experiments).
+//!
+//! The crate map with a data-flow diagram lives in [`architecture`]
+//! (`docs/ARCHITECTURE.md`); the normative durability contract in
+//! [`codb_store::durability`] (`docs/DURABILITY.md`).
 
 pub use codb_core as core;
 pub use codb_net as net;
 pub use codb_relational as relational;
 pub use codb_store as store;
 pub use codb_workload as workload;
+
+// In scope so the [`architecture`] page's intra-doc links resolve
+// (module docs resolve names in the parent scope).
+#[allow(unused_imports)]
+use codb_store::FsyncScheduler;
 
 /// The common imports for using coDB as a library.
 pub mod prelude {
@@ -70,10 +79,19 @@ pub mod prelude {
         parse_facts, parse_query, parse_rule, ConjunctiveQuery, DatabaseSchema, GlavRule, Instance,
         Relation, RelationSchema, Tuple, Value, ValueType,
     };
-    pub use codb_store::{Codec, ProtocolCounters, Store, StoreError, SyncPolicy, WalRecord};
+    pub use codb_store::{
+        Codec, FsyncScheduler, FsyncSchedulerStats, ProtocolCounters, Store, StoreError,
+        SyncPolicy, WalRecord,
+    };
     pub use codb_workload::{
         run_crash_restart, run_fault_plan, run_fault_plan_differential, CodecDifferentialReport,
         CrashRestartPlan, CrashRestartReport, DataDist, FaultPlan, FaultPlanReport, RuleStyle,
         Scenario, Topology,
     };
 }
+
+/// The crate map and data-flow architecture, rendered from
+/// `docs/ARCHITECTURE.md` so `cargo doc -D warnings` keeps its intra-doc
+/// links honest.
+#[doc = include_str!("../docs/ARCHITECTURE.md")]
+pub mod architecture {}

@@ -286,3 +286,98 @@ fn codec_flag_picks_the_on_disk_format_and_interops() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown codec"));
 }
+
+/// The usage text and the flags the binary actually accepts must stay in
+/// sync, in both directions: every flag named in the usage string is
+/// accepted (asking for its argument, not rejected as unknown), and
+/// every flag the binary accepts is named in the usage string.
+#[test]
+fn usage_text_stays_in_sync_with_accepted_flags() {
+    // Provoke the usage text with an unknown option.
+    let out = demo().args(["--definitely-not-a-flag"]).output().unwrap();
+    assert!(!out.status.success());
+    let usage = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(usage.contains("usage:"), "{usage}");
+
+    // Direction 1: every `--flag` the usage advertises is accepted. A
+    // flag passed with no argument must answer "<flag> needs ..." — an
+    // unknown flag would answer "unknown option" instead.
+    let mut advertised: Vec<String> = usage
+        .split(|c: char| c.is_whitespace() || "[]|".contains(c))
+        .filter(|w| w.starts_with("--"))
+        .map(|w| w.trim_end_matches(|c: char| !c.is_ascii_alphanumeric()).to_string())
+        .collect();
+    advertised.sort();
+    advertised.dedup();
+    assert_eq!(
+        advertised,
+        vec!["--codec", "--data-dir", "--sync"],
+        "the usage text advertises exactly the known flags:\n{usage}"
+    );
+    for flag in &advertised {
+        let out = demo().args([flag.as_str()]).output().unwrap();
+        assert!(!out.status.success());
+        let err = String::from_utf8_lossy(&out.stderr).to_string();
+        assert!(
+            err.contains(&format!("{flag} needs")),
+            "{flag} is advertised but not accepted: {err}"
+        );
+        assert!(!err.contains("unknown option"), "{flag}: {err}");
+    }
+
+    // Direction 2: every command the dispatcher knows is listed too.
+    for cmd in
+        ["update", "scoped-update", "query", "local-query", "show", "save", "recover", "stats"]
+    {
+        assert!(usage.contains(cmd), "command {cmd} missing from usage:\n{usage}");
+    }
+}
+
+#[test]
+fn sync_flag_selects_the_policy_and_rejects_garbage() {
+    let config = write_config();
+    let data = TempDir::new("codb-demo-sync");
+    // Group commit end to end: materialise, checkpoint, then recover in
+    // a second invocation — the shared-scheduler policy must persist and
+    // recover exactly like `always`.
+    let out = demo()
+        .args([
+            "--data-dir",
+            data.as_str(),
+            "--sync",
+            "group:16,4",
+            config.as_str(),
+            "update",
+            "portal",
+            "save",
+            "portal",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = demo()
+        .args([
+            "--data-dir",
+            data.as_str(),
+            "--sync",
+            "group:16,4",
+            config.as_str(),
+            "show",
+            "portal",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("\"alice\""),
+        "group-commit store recovered"
+    );
+
+    // everyN needs its N; garbage policies fail cleanly with usage.
+    for bad in ["everyN", "fsync", "group:x"] {
+        let out = demo().args(["--sync", bad, config.as_str(), "stats"]).output().unwrap();
+        assert!(!out.status.success(), "--sync {bad} must be rejected");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("usage:"), "--sync {bad}: {err}");
+    }
+}

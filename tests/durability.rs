@@ -194,6 +194,66 @@ fn local_insert_survives_via_wal_replay_alone() {
     assert_eq!(net.node(solo).ldb().tuple_count(), 2, "seed + WAL-replayed insert");
 }
 
+/// The group-commit acceptance scenario (ISSUE 5): an 8-node single-host
+/// network persists through **one shared fsync scheduler**, the host
+/// dies mid-update with every store's unsynced WAL tail destroyed (the
+/// crash lands between batch formation and drain), and after the
+/// restarts no acked record is lost and the network reconverges to the
+/// never-crashed control. The fewer-fsyncs half of the claim is
+/// asserted by experiment E18 (`codb_bench::experiments::e18`).
+#[test]
+fn host_crash_under_shared_group_commit_loses_no_acked_record() {
+    let tmp = ScratchDir::new("durability-groupcommit");
+    let scenario = Scenario { tuples_per_node: 12, ..Scenario::quick(Topology::Chain(8)) };
+    let plan = FaultPlan::host_crash_group_commit(scenario, 5);
+    assert!(
+        matches!(plan.sync, SyncPolicy::GroupCommit { max_batch: 8, max_records: 64 }),
+        "{plan:?}"
+    );
+    assert!(plan.lose_unsynced_tail, "the crash must destroy unsynced tails");
+    let report = run_fault_plan(&plan, tmp.path()).unwrap();
+    assert_eq!(report.crashes, 1, "the host crash landed: {report:?}");
+    assert!(report.acked_records_preserved, "replay with seed {}: {report:?}", report.seed);
+    assert!(report.converged, "replay with seed {}: {report:?}", report.seed);
+    assert!(report.rejoin_messages >= 2, "restarts ran the handshake: {report:?}");
+}
+
+/// The shared scheduler is one object across the network: opening
+/// persistence under a group-commit policy exposes it, and appends from
+/// different nodes coalesce into common drains.
+#[test]
+fn open_persistence_all_shares_one_scheduler() {
+    let tmp = ScratchDir::new("durability-sched");
+    let scenario = Scenario { tuples_per_node: 5, ..Scenario::quick(Topology::Chain(8)) };
+    let mut net = CoDbNetwork::build(scenario.build_config(), SimConfig::default()).unwrap();
+    assert!(net.fsync_scheduler().is_none(), "no scheduler before a group-commit open");
+    net.open_persistence_all(
+        tmp.path(),
+        SyncPolicy::GroupCommit { max_batch: 64, max_records: 16 },
+        Codec::Binary,
+    )
+    .unwrap();
+    let sched = net.fsync_scheduler().expect("group-commit open built the shared scheduler");
+    assert_eq!(sched.stats().registered, 8, "every node's WAL registered");
+    net.run_update(scenario.sink());
+    let stats = net.fsync_scheduler().unwrap().stats();
+    assert!(stats.appends > 0, "the update's WAL traffic went through the scheduler: {stats:?}");
+
+    // A later open asking for *different* group-commit thresholds must
+    // be refused, not silently handed the existing scheduler's (larger
+    // or smaller) ack window.
+    let err = net
+        .open_node_persistence(
+            NodeId(0),
+            &tmp.path().join("n0-again"),
+            SyncPolicy::GroupCommit { max_batch: 64, max_records: 8 },
+            Codec::Binary,
+        )
+        .unwrap_err();
+    assert!(matches!(err, StoreError::SchedulerMismatch { .. }), "{err}");
+    assert!(err.to_string().contains("group:8,64"), "{err}");
+}
+
 /// A node that was never persisted cannot be restarted from an empty
 /// directory — the error is typed, not a silent empty rejoin.
 #[test]
