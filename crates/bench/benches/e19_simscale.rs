@@ -1,0 +1,43 @@
+//! Criterion bench for experiment e19: simulator event-loop throughput
+//! at scale — flood waves to quiescence over 1k-node topologies, so the
+//! measured cost is the calendar event queue and the pipe arena, not the
+//! database protocol.
+
+use codb_net::{LatencyModel, PipeConfig};
+use codb_workload::{run_flood, Topology};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+const N: usize = 1_000;
+const WAVES: u32 = 2;
+
+/// E19: events through the simulator per topology family at 1k nodes.
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e19_simscale");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    let cases: [(&str, Topology, Option<LatencyModel>); 4] = [
+        ("chain", Topology::Chain(N), None),
+        ("scale-free", Topology::ScaleFree { n: N, m: 3, seed: 0x5CA1E }, None),
+        ("ring-gradient", Topology::RingGradient { n: N, chords: 6 }, None),
+        (
+            "scale-free-geo",
+            Topology::ScaleFree { n: N, m: 3, seed: 0x5CA1E },
+            Some(LatencyModel::geo_scattered(0x6E0, N)),
+        ),
+    ];
+    for (label, topology, latency) in cases {
+        g.bench_with_input(BenchmarkId::new(label, N), &topology, |b, topology| {
+            b.iter(|| {
+                let report = run_flood(topology, PipeConfig::lan(), latency.clone(), WAVES, 0xE19);
+                assert_eq!(report.reached, report.nodes);
+                report.events
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,6 +1,9 @@
 //! Experiment runner: prints the tables of DESIGN.md §4.
 //!
-//! Usage: `cargo run -p codb-bench --release --bin exp -- [e1 … e18 | all]`
+//! Usage: `cargo run -p codb-bench --release --bin exp -- [e1 … e19 | all]`
+//!
+//! `e19-quick` runs the CI-sized E19 acceptance smoke (100 → 10k chain
+//! sweep plus scale-free and geo rows) instead of the full sweep.
 //!
 //! Extra modes:
 //! * `exp --quick` — a seconds-scale smoke run of the full harness
@@ -98,7 +101,8 @@ fn main() {
             .map(|id| {
                 by_id(id).unwrap_or_else(|| {
                     fail(&format!(
-                        "unknown experiment {id:?} (use e1..e18, all, --quick or timeline)"
+                        "unknown experiment {id:?} (use e1..e19, e19-quick, all, --quick or \
+                         timeline)"
                     ))
                 })
             })

@@ -982,6 +982,102 @@ pub fn e18() -> Table {
     t
 }
 
+/// One E19 row: floods `waves` waves over `topology` and reports the
+/// simulator's throughput.
+fn e19_row(
+    t: &mut Table,
+    label: &str,
+    topology: &Topology,
+    latency: Option<codb_net::LatencyModel>,
+    waves: u32,
+) -> codb_workload::FloodReport {
+    let report = codb_workload::run_flood(topology, PipeConfig::lan(), latency, waves, 0xE19);
+    assert_eq!(
+        report.reached, report.nodes,
+        "E19 acceptance: the flood must reach every node of {label}"
+    );
+    t.row(vec![
+        label.to_string(),
+        report.nodes.to_string(),
+        report.edges.to_string(),
+        report.messages.to_string(),
+        report.events.to_string(),
+        format!("{:.0}k", report.events_per_sec() / 1e3),
+        report.sim_time.to_string(),
+        format!("{:.1}", report.host_ms),
+    ]);
+    report
+}
+
+/// E19 — simulator scalability: node-count sweep over chain, scale-free
+/// and geo-placed topologies, flooding gossip waves to quiescence. The
+/// subject under measurement is the simulator hot path itself (calendar
+/// event queue + pipe arena), not the database protocol — the flood's
+/// message complexity is known in closed form (`waves × 2 × edges`), so
+/// events/sec isolates event-loop cost. The geo rows derive per-link
+/// latency from great-circle distance between seeded lat/long
+/// placements; that reshapes the *time* axis (intercontinental hops
+/// dominate) while leaving the message complexity untouched.
+pub fn e19() -> Table {
+    let mut t = e19_table();
+    for n in [100usize, 1_000, 10_000] {
+        e19_row(&mut t, &format!("chain-{n}"), &Topology::Chain(n), None, 2);
+    }
+    for n in [100usize, 1_000, 10_000] {
+        let topo = Topology::ScaleFree { n, m: 3, seed: 0x5CA1E };
+        e19_row(&mut t, &topo.to_string(), &topo, None, 2);
+    }
+    let rg = Topology::RingGradient { n: 4_096, chords: 6 };
+    e19_row(&mut t, &rg.to_string(), &rg, None, 2);
+    for n in [1_000usize, 10_000] {
+        let topo = Topology::ScaleFree { n, m: 3, seed: 0x5CA1E };
+        e19_row(
+            &mut t,
+            &format!("{topo}+geo"),
+            &topo,
+            Some(codb_net::LatencyModel::geo_scattered(0x6E0, n)),
+            2,
+        );
+    }
+    t
+}
+
+/// The E19 acceptance smoke (`exp e19-quick`, run in CI): a 100 → 10k
+/// chain sweep plus one scale-free and one geo row, asserting the
+/// 10k-node chain reaches quiescence within the 10 s budget.
+pub fn e19_quick() -> Table {
+    let mut t = e19_table();
+    for n in [100usize, 1_000, 10_000] {
+        let report = e19_row(&mut t, &format!("chain-{n}"), &Topology::Chain(n), None, 1);
+        if n == 10_000 {
+            assert!(
+                report.host_ms < 10_000.0,
+                "E19 acceptance: 10k-node chain must reach quiescence in under 10s, took \
+                 {:.0} ms",
+                report.host_ms
+            );
+        }
+    }
+    let sf = Topology::ScaleFree { n: 1_000, m: 3, seed: 0x5CA1E };
+    e19_row(&mut t, &sf.to_string(), &sf, None, 1);
+    e19_row(
+        &mut t,
+        &format!("{sf}+geo"),
+        &sf,
+        Some(codb_net::LatencyModel::geo_scattered(0x6E0, 1_000)),
+        1,
+    );
+    t
+}
+
+fn e19_table() -> Table {
+    Table::new(
+        "E19 — simulator scalability: flood waves to quiescence (LAN pipes; geo rows use \
+         great-circle latency)",
+        &["topology", "nodes", "edges", "messages", "events", "events/s", "sim total", "host ms"],
+    )
+}
+
 /// Total bytes of `.snap` and `.wal` files in a store directory.
 fn dir_footprint(dir: &std::path::Path) -> (u64, u64) {
     let (mut snap, mut wal) = (0u64, 0u64);
@@ -1019,10 +1115,12 @@ pub fn all() -> Vec<Table> {
         e16(),
         e17(),
         e18(),
+        e19(),
     ]
 }
 
-/// Runs one experiment by id (`"e1"` … `"e18"`).
+/// Runs one experiment by id (`"e1"` … `"e19"`, plus `"e19-quick"` for
+/// the CI-sized acceptance smoke).
 pub fn by_id(id: &str) -> Option<Table> {
     match id {
         "e1" => Some(e1()),
@@ -1043,6 +1141,8 @@ pub fn by_id(id: &str) -> Option<Table> {
         "e16" => Some(e16()),
         "e17" => Some(e17()),
         "e18" => Some(e18()),
+        "e19" => Some(e19()),
+        "e19-quick" => Some(e19_quick()),
         _ => None,
     }
 }
@@ -1064,10 +1164,11 @@ mod tests {
 
     #[test]
     fn by_id_covers_all_ids() {
-        for i in 1..=18 {
+        for i in 1..=19 {
             assert!(by_id(&format!("e{i}")).is_some(), "e{i} missing");
         }
-        assert!(by_id("e19").is_none());
+        assert!(by_id("e19-quick").is_some());
+        assert!(by_id("e20").is_none());
     }
 
     #[test]

@@ -8,7 +8,7 @@ use crate::messages::{Body, Envelope};
 use crate::node::{CoDbNode, NodeSettings};
 use crate::query::QueryResult;
 use crate::stats::{NetworkReport, UpdateSummary};
-use codb_net::{PeerId, SimConfig, SimNet, SimTime};
+use codb_net::{PeerId, SimBuilder, SimConfig, SimNet, SimTime};
 use codb_relational::{parse_query, ConjunctiveQuery};
 
 /// Peer id used by the harness when injecting control messages.
@@ -82,19 +82,26 @@ impl CoDbNetwork {
         with_superpeer: bool,
     ) -> Result<Self, ConfigError> {
         config.validate()?;
-        let mut sim = SimNet::new(sim_config);
-        for nc in &config.nodes {
-            let node = CoDbNode::new(
-                nc.id,
-                &nc.name,
-                nc.schema.clone(),
-                nc.data.clone(),
-                &config.rules,
-                settings.clone(),
-            );
-            sim.add_peer(nc.id.peer(), node);
-        }
-        let superpeer = if with_superpeer {
+        // Nodes open their own pipes (one per coordination-rule
+        // acquaintance) from `on_start`, so the builder only needs the
+        // peer population; pipes still follow `Topology::edges()` via the
+        // rules the scenario generator derived from it.
+        let mut nodes: std::collections::HashMap<PeerId, CoDbNode> = config
+            .nodes
+            .iter()
+            .map(|nc| {
+                let node = CoDbNode::new(
+                    nc.id,
+                    &nc.name,
+                    nc.schema.clone(),
+                    nc.data.clone(),
+                    &config.rules,
+                    settings.clone(),
+                );
+                (nc.id.peer(), node)
+            })
+            .collect();
+        let superpeer = with_superpeer.then(|| {
             let id = NodeId(config.nodes.iter().map(|n| n.id.0 + 1).max().unwrap_or(0));
             let node = CoDbNode::new(
                 id,
@@ -105,11 +112,14 @@ impl CoDbNetwork {
                 settings.clone(),
             )
             .with_superpeer_config(config.clone());
-            sim.add_peer(id.peer(), node);
-            Some(id)
-        } else {
-            None
-        };
+            nodes.insert(id.peer(), node);
+            id
+        });
+        // Spawn in declaration order (super-peer last) — the same event
+        // sequence the old hand-rolled add_peer loop produced.
+        let sim = SimBuilder::new(sim_config)
+            .peers(config.nodes.iter().map(|nc| nc.id.peer()).chain(superpeer.map(|id| id.peer())))
+            .spawn(|id| nodes.remove(&id).expect("every registered peer has a node"));
         let mut net = CoDbNetwork { sim, config, superpeer, settings, fsync_sched: None };
         net.sim.run_until_quiescent(); // process start events (pipes, adverts)
         Ok(net)

@@ -18,18 +18,24 @@
 
 #![warn(missing_docs)]
 
+pub mod builder;
 pub mod discovery;
+pub mod latency;
 pub mod parallel;
 pub mod peer;
 pub mod pipe;
+pub mod queue;
 pub mod sim;
 pub mod stats;
 pub mod time;
 
+pub use builder::{EdgeSource, Edges, SimBuilder};
 pub use discovery::{AdKind, Advertisement, Board};
+pub use latency::{GeoPoint, LatencyModel};
 pub use parallel::ParallelNet;
 pub use peer::{Command, Context, Payload, Peer, PeerId};
 pub use pipe::PipeConfig;
+pub use queue::CalendarQueue;
 pub use sim::{SimConfig, SimNet, TraceEntry};
 pub use stats::{NetStats, PipeStats};
 pub use time::SimTime;

@@ -18,6 +18,17 @@ pub struct PipeStats {
     pub bytes_sent: u64,
 }
 
+impl PipeStats {
+    /// Adds `other`'s counters into `self` — used when folding a closed
+    /// pipe's counters into the surviving per-pipe table.
+    pub fn merge(&mut self, other: &PipeStats) {
+        self.sent += other.sent;
+        self.delivered += other.delivered;
+        self.dropped += other.dropped;
+        self.bytes_sent += other.bytes_sent;
+    }
+}
+
 /// Whole-network counters.
 #[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct NetStats {

@@ -18,6 +18,7 @@ pub mod crash;
 pub mod data_gen;
 pub mod faultplan;
 pub mod scenario;
+pub mod simscale;
 pub mod topology;
 
 pub use crash::{run_crash_restart, CrashRestartPlan, CrashRestartReport};
@@ -27,4 +28,5 @@ pub use faultplan::{
     FaultPlan, FaultPlanReport, Round,
 };
 pub use scenario::{RuleStyle, Scenario};
+pub use simscale::{run_flood, FloodMsg, FloodPeer, FloodReport};
 pub use topology::Topology;

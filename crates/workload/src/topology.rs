@@ -52,6 +52,32 @@ pub enum Topology {
     },
     /// Every ordered pair is an edge: the densest (cyclic) topology.
     Clique(usize),
+    /// Barabási–Albert preferential attachment: nodes arrive one at a
+    /// time and each connects to `m` distinct earlier nodes chosen with
+    /// probability proportional to their current degree. Produces the
+    /// heavy-tailed degree distributions of real P2P overlays; hubs
+    /// emerge without any global coordination. Edges point old ← new
+    /// (`(i, t)` with `t < i`), so the graph is acyclic with sink-side
+    /// flow toward the early hubs.
+    ScaleFree {
+        /// Node count.
+        n: usize,
+        /// Edges each arriving node attaches with (clamped to the
+        /// number of earlier nodes).
+        m: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// A ring with exponentially-spaced chords: node `i` additionally
+    /// feeds `(i + 2^k) mod n` for `k = 1..=chords`. A deterministic
+    /// small-world: diameter `O(n / 2^chords)` with uniform degree —
+    /// the gradient between `Ring` and dense overlays.
+    RingGradient {
+        /// Node count.
+        n: usize,
+        /// Number of chord scales (`2, 4, 8, …, 2^chords`).
+        chords: u32,
+    },
 }
 
 impl Topology {
@@ -63,6 +89,7 @@ impl Topology {
             Topology::Tree { height } => (1 << (height + 1)) - 1,
             Topology::Grid { w, h } => w * h,
             Topology::RandomDag { n, .. } => n,
+            Topology::ScaleFree { n, .. } | Topology::RingGradient { n, .. } => n,
         }
     }
 
@@ -124,6 +151,60 @@ impl Topology {
                 }
                 edges
             }
+            Topology::ScaleFree { n, m, seed } => {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let mut edges = Vec::new();
+                // Every edge endpoint is recorded twice in this list, so
+                // sampling an element uniformly samples a node with
+                // probability proportional to its degree — the classic
+                // O(1)-per-draw preferential-attachment trick.
+                let mut endpoints: Vec<usize> = Vec::new();
+                for i in 1..n {
+                    let want = m.max(1).min(i);
+                    let mut targets: Vec<usize> = Vec::with_capacity(want);
+                    while targets.len() < want {
+                        // First node, or occasional uniform draw, keeps the
+                        // endpoint list from locking in early hubs entirely.
+                        let t = if endpoints.is_empty() {
+                            rng.gen_range(0..i)
+                        } else {
+                            endpoints[rng.gen_range(0..endpoints.len())]
+                        };
+                        if t < i && !targets.contains(&t) {
+                            targets.push(t);
+                        } else {
+                            // Resample collisions uniformly so the loop
+                            // terminates even when hubs dominate.
+                            let u = rng.gen_range(0..i);
+                            if !targets.contains(&u) {
+                                targets.push(u);
+                            }
+                        }
+                    }
+                    for t in targets {
+                        edges.push((i, t));
+                        endpoints.push(i);
+                        endpoints.push(t);
+                    }
+                }
+                edges
+            }
+            Topology::RingGradient { n, chords } => {
+                if n < 2 {
+                    return Vec::new();
+                }
+                let mut edges: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+                for k in 1..=chords {
+                    let step = 1usize << k;
+                    if step >= n {
+                        break;
+                    }
+                    for i in 0..n {
+                        edges.push((i, (i + step) % n));
+                    }
+                }
+                edges
+            }
         }
     }
 
@@ -137,6 +218,7 @@ impl Topology {
             Topology::Grid { w, h } => w * h - 1,
             Topology::RandomDag { n, .. } => n.saturating_sub(1),
             Topology::Clique(_) => 0,
+            Topology::ScaleFree { .. } | Topology::RingGradient { .. } => 0,
         }
     }
 
@@ -144,6 +226,7 @@ impl Topology {
     pub fn is_cyclic(&self) -> bool {
         matches!(self, Topology::Ring(n) if *n >= 2)
             || matches!(self, Topology::Clique(n) if *n >= 2)
+            || matches!(self, Topology::RingGradient { n, .. } if *n >= 2)
     }
 
     /// The directed diameter towards the sink (longest shortest path), a
@@ -157,7 +240,49 @@ impl Topology {
             Topology::Grid { w, h } => (w - 1) + (h - 1),
             Topology::RandomDag { n, .. } => n.saturating_sub(1), // backbone
             Topology::Clique(n) => usize::from(n > 1),
+            // No closed form for the generated families: measure by BFS.
+            Topology::ScaleFree { .. } | Topology::RingGradient { .. } => self.bfs_depth_to_sink(),
         }
+    }
+
+    /// Longest shortest path to the sink, measured on the actual edge
+    /// set by reverse BFS from the sink. Nodes that cannot reach the
+    /// sink don't count.
+    fn bfs_depth_to_sink(&self) -> usize {
+        let n = self.node_count();
+        if n == 0 {
+            return 0;
+        }
+        let mut reverse_adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (src, dst) in self.edges() {
+            reverse_adj[dst].push(src);
+        }
+        let mut dist = vec![usize::MAX; n];
+        let mut frontier = std::collections::VecDeque::from([self.sink()]);
+        dist[self.sink()] = 0;
+        let mut deepest = 0;
+        while let Some(v) = frontier.pop_front() {
+            for &u in &reverse_adj[v] {
+                if dist[u] == usize::MAX {
+                    dist[u] = dist[v] + 1;
+                    deepest = deepest.max(dist[u]);
+                    frontier.push_back(u);
+                }
+            }
+        }
+        deepest
+    }
+}
+
+/// Topologies drive [`codb_net::SimBuilder`] directly: the builder maps
+/// node index `i` to `PeerId(i)` and opens one (bidirectional) pipe per
+/// directed data-flow edge.
+impl codb_net::EdgeSource for Topology {
+    fn node_count(&self) -> usize {
+        Topology::node_count(self)
+    }
+    fn edge_list(&self) -> Vec<(usize, usize)> {
+        Topology::edges(self)
     }
 }
 
@@ -171,6 +296,8 @@ impl fmt::Display for Topology {
             Topology::Grid { w, h } => write!(f, "grid-{w}x{h}"),
             Topology::RandomDag { n, p_percent, .. } => write!(f, "random-{n}-p{p_percent}"),
             Topology::Clique(n) => write!(f, "clique-{n}"),
+            Topology::ScaleFree { n, m, .. } => write!(f, "scalefree-{n}-m{m}"),
+            Topology::RingGradient { n, chords } => write!(f, "ringgrad-{n}-c{chords}"),
         }
     }
 }
@@ -252,5 +379,62 @@ mod tests {
     fn display_names() {
         assert_eq!(Topology::Chain(8).to_string(), "chain-8");
         assert_eq!(Topology::Grid { w: 3, h: 2 }.to_string(), "grid-3x2");
+        assert_eq!(Topology::ScaleFree { n: 100, m: 3, seed: 1 }.to_string(), "scalefree-100-m3");
+        assert_eq!(Topology::RingGradient { n: 64, chords: 4 }.to_string(), "ringgrad-64-c4");
+    }
+
+    #[test]
+    fn scale_free_shape() {
+        let t = Topology::ScaleFree { n: 200, m: 3, seed: 7 };
+        let edges = t.edges();
+        assert_eq!(t.edges(), edges, "deterministic");
+        // Acyclic by construction: every edge points to an earlier node.
+        assert!(edges.iter().all(|&(i, j)| j < i));
+        // Each node i ≥ 1 attaches with min(m, i) distinct edges.
+        assert_eq!(edges.len(), 1 + 2 + 3 * 197);
+        for window in [(1usize, 1usize), (2, 2), (50, 3)] {
+            let deg = edges.iter().filter(|&&(i, _)| i == window.0).count();
+            assert_eq!(deg, window.1);
+        }
+        // Heavy tail: some early node accumulates far more than m links.
+        let mut in_deg = vec![0usize; 200];
+        for &(_, j) in &edges {
+            in_deg[j] += 1;
+        }
+        assert!(in_deg.iter().max().unwrap() > &20, "hubs emerge: {:?}", in_deg.iter().max());
+        assert!(!t.is_cyclic());
+        assert_eq!(t.sink(), 0);
+        // Everyone reaches the sink (node 0 is the first attachment
+        // target, and paths strictly descend), within a small diameter.
+        let d = t.depth_to_sink();
+        assert!((1..=20).contains(&d), "scale-free diameter is small: {d}");
+        // Different seeds give different graphs.
+        assert_ne!(Topology::ScaleFree { n: 200, m: 3, seed: 8 }.edges(), edges);
+    }
+
+    #[test]
+    fn ring_gradient_shape() {
+        let t = Topology::RingGradient { n: 64, chords: 4 };
+        let edges = t.edges();
+        // Ring + chords at steps 2, 4, 8, 16: 5 × 64 edges.
+        assert_eq!(edges.len(), 5 * 64);
+        assert!(edges.contains(&(0, 1)) && edges.contains(&(63, 0)));
+        assert!(edges.contains(&(0, 16)) && edges.contains(&(60, 12)));
+        assert!(t.is_cyclic());
+        // Chords shrink the diameter well below the ring's n-1.
+        let d = t.depth_to_sink();
+        assert!(d < 16, "small-world diameter: {d}");
+        // Chord steps ≥ n are skipped rather than wrapped into duplicates.
+        let tiny = Topology::RingGradient { n: 4, chords: 5 };
+        assert_eq!(tiny.edges().len(), 2 * 4);
+        assert_eq!(Topology::RingGradient { n: 1, chords: 3 }.edges(), vec![]);
+    }
+
+    #[test]
+    fn edge_source_matches_inherent_edges() {
+        use codb_net::EdgeSource;
+        let t = Topology::ScaleFree { n: 50, m: 2, seed: 3 };
+        assert_eq!(EdgeSource::node_count(&t), t.node_count());
+        assert_eq!(t.edge_list(), t.edges());
     }
 }
