@@ -706,6 +706,7 @@ pub fn e17() -> Table {
             "tuples",
             "victim ckpt (events)",
             "rejoin cost (msgs)",
+            "ingest/recover ms (traced)",
         ],
     );
     const BATCHES: u64 = 1000;
@@ -713,6 +714,7 @@ pub fn e17() -> Table {
     for codec in [Codec::Json, Codec::Binary] {
         for interval in [0u64, 250, 50, 10] {
             let dir = ScratchDir::new("e17");
+            let (tracer, phases) = crate::phases::PhaseRecorder::tracer();
             let mut inst = Instance::new();
             inst.add_relation(RelationSchema::with_types("r", &[ValueType::Int, ValueType::Int]));
             let mut nulls = NullFactory::new(7);
@@ -726,6 +728,8 @@ pub fn e17() -> Table {
                 codec,
             )
             .unwrap();
+            store.attach_tracer(&tracer);
+            tracer.phase_begin("ingest");
             for b in 0..BATCHES {
                 let firings: Vec<RuleFiring> = (0..PER_BATCH)
                     .map(|k| RuleFiring {
@@ -756,6 +760,7 @@ pub fn e17() -> Table {
                 }
             }
             store.sync().unwrap();
+            tracer.phase_end("ingest");
             let generations = store.generation() + 1;
             let wal_records = store.wal_records();
             drop(store);
@@ -764,7 +769,9 @@ pub fn e17() -> Table {
             let (snap_bytes, wal_bytes) = dir_footprint(dir.path());
 
             let t0 = Instant::now();
-            let (_reopened, rec) = Store::open(dir.path(), SyncPolicy::Never, codec).unwrap();
+            let (_reopened, rec) = tracer
+                .phase("recover", || Store::open(dir.path(), SyncPolicy::Never, codec))
+                .unwrap();
             let elapsed = t0.elapsed();
             assert_eq!(rec.instance, inst, "recovery must reproduce the live state");
             assert_eq!(rec.nulls.invented(), nulls.invented());
@@ -804,6 +811,14 @@ pub fn e17() -> Table {
                 rec.instance.tuple_count().to_string(),
                 victim_ckpt.map_or("never".to_owned(), |e| e.to_string()),
                 report.rejoin_cost_messages().to_string(),
+                {
+                    let s = crate::phases::phase_summary(&phases);
+                    format!(
+                        "{}/{}",
+                        crate::phases::phase_ms(&s, "ingest"),
+                        crate::phases::phase_ms(&s, "recover")
+                    )
+                },
             ]);
         }
     }
@@ -991,11 +1006,20 @@ fn e19_row(
     latency: Option<codb_net::LatencyModel>,
     waves: u32,
 ) -> codb_workload::FloodReport {
-    let report = codb_workload::run_flood(topology, PipeConfig::lan(), latency, waves, 0xE19);
+    let (tracer, phases) = crate::phases::PhaseRecorder::tracer();
+    let report = codb_workload::run_flood_traced(
+        topology,
+        PipeConfig::lan(),
+        latency,
+        waves,
+        0xE19,
+        &tracer,
+    );
     assert_eq!(
         report.reached, report.nodes,
         "E19 acceptance: the flood must reach every node of {label}"
     );
+    let summary = crate::phases::phase_summary(&phases);
     t.row(vec![
         label.to_string(),
         report.nodes.to_string(),
@@ -1005,7 +1029,10 @@ fn e19_row(
         format!("{:.0}k", report.events_per_sec() / 1e3),
         report.sim_time.to_string(),
         format!("{:.1}", report.host_ms),
+        crate::phases::phase_ms(&summary, "build"),
+        crate::phases::phase_ms(&summary, "flood"),
     ]);
+    t.pipe_totals(label, &report.stats, 8);
     report
 }
 
@@ -1074,7 +1101,18 @@ fn e19_table() -> Table {
     Table::new(
         "E19 — simulator scalability: flood waves to quiescence (LAN pipes; geo rows use \
          great-circle latency)",
-        &["topology", "nodes", "edges", "messages", "events", "events/s", "sim total", "host ms"],
+        &[
+            "topology",
+            "nodes",
+            "edges",
+            "messages",
+            "events",
+            "events/s",
+            "sim total",
+            "host ms",
+            "build ms",
+            "flood ms",
+        ],
     )
 }
 

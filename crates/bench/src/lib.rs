@@ -9,9 +9,11 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod phases;
 pub mod table;
 pub mod timeline;
 
 pub use experiments::{all, by_id};
-pub use table::Table;
+pub use phases::{phase_ms, phase_summary, PhaseRecorder};
+pub use table::{PipeTotals, Table};
 pub use timeline::render_timeline;

@@ -1,0 +1,84 @@
+//! Constant-memory phase capture for experiment tables.
+//!
+//! Experiment rows want to attribute host time to run phases (build,
+//! flood, ingest, recover …) without paying for — or bounding — a full
+//! event recording: a 10k-node flood emits hundreds of thousands of net
+//! events, and a last-N ring would evict the early `PhaseBegin` markers.
+//! [`PhaseRecorder`] is a [`TraceSink`] that keeps *only* phase markers
+//! (and the intern events naming them), so its memory is proportional to
+//! the number of phases, not the run size.
+
+use codb_trace::{Summary, TraceEvent, TraceFile, TraceSink, Tracer};
+use std::sync::{Arc, Mutex};
+
+/// A [`TraceSink`] retaining only [`TraceEvent::Intern`],
+/// [`TraceEvent::PhaseBegin`] and [`TraceEvent::PhaseEnd`]; everything
+/// else is counted and dropped. Full-fidelity recording is what
+/// [`codb_trace::FileRecorder`] / [`codb_trace::RingRecorder`] are for.
+#[derive(Debug, Default)]
+pub struct PhaseRecorder {
+    events: Vec<(u64, TraceEvent)>,
+    /// Events seen but not retained.
+    dropped: u64,
+}
+
+impl PhaseRecorder {
+    /// A tracer recording phases into a fresh recorder (keep the second
+    /// handle to read the result back via [`phase_summary`]).
+    pub fn tracer() -> (Tracer, Arc<Mutex<PhaseRecorder>>) {
+        let rec = Arc::new(Mutex::new(PhaseRecorder::default()));
+        (Tracer::new(rec.clone()), rec)
+    }
+
+    /// Events seen but not retained (the non-phase bulk of the run).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+impl TraceSink for PhaseRecorder {
+    fn record(&mut self, at: u64, ev: &TraceEvent) {
+        match ev {
+            TraceEvent::Intern { .. }
+            | TraceEvent::PhaseBegin { .. }
+            | TraceEvent::PhaseEnd { .. } => self.events.push((at, ev.clone())),
+            _ => self.dropped += 1,
+        }
+    }
+}
+
+/// Folds the recorded phase markers into a [`Summary`]. Only the phase
+/// fields are meaningful — the recorder dropped every other event.
+pub fn phase_summary(rec: &Arc<Mutex<PhaseRecorder>>) -> Summary {
+    let guard = rec.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    Summary::from_trace(&TraceFile { events: guard.events.clone(), torn: false })
+}
+
+/// Host milliseconds of completed phase `name`, or `-` when the phase
+/// never closed (a table cell, not a number, on purpose).
+pub fn phase_ms(summary: &Summary, name: &str) -> String {
+    match summary.phase_host_nanos(name) {
+        Some(ns) => format!("{:.1}", ns as f64 / 1e6),
+        None => "-".to_owned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_phases_drops_bulk() {
+        let (tracer, rec) = PhaseRecorder::tracer();
+        tracer.phase("work", || {
+            for i in 0..1000 {
+                tracer.emit(TraceEvent::NetSend { from: i, to: i + 1, bytes: 8 });
+            }
+        });
+        let s = phase_summary(&rec);
+        assert!(s.phase_host_nanos("work").is_some());
+        assert_eq!(rec.lock().unwrap().dropped(), 1000);
+        assert_ne!(phase_ms(&s, "work"), "-");
+        assert_eq!(phase_ms(&s, "absent"), "-");
+    }
+}

@@ -5,6 +5,27 @@
 use serde::Serialize;
 use std::fmt::Write as _;
 
+/// Per-pipe traffic totals attached to a table row — machine-readable
+/// side data for `exp --json` (E19 records its heaviest pipes this way).
+/// The human-rendered table is unaffected.
+#[derive(Clone, Debug, Serialize)]
+pub struct PipeTotals {
+    /// First cell of the row these totals belong to (the topology label).
+    pub row: String,
+    /// Sending peer id.
+    pub from: u64,
+    /// Receiving peer id.
+    pub to: u64,
+    /// Messages handed to the pipe.
+    pub sent: u64,
+    /// Messages delivered.
+    pub delivered: u64,
+    /// Messages dropped by the loss model.
+    pub dropped: u64,
+    /// Payload bytes handed to the pipe.
+    pub bytes: u64,
+}
+
 /// A rendered experiment result: a title, column headers and rows.
 #[derive(Clone, Debug, Serialize)]
 pub struct Table {
@@ -14,6 +35,9 @@ pub struct Table {
     pub headers: Vec<String>,
     /// Rows (stringified cells).
     pub rows: Vec<Vec<String>>,
+    /// Per-pipe traffic totals (empty for experiments that don't record
+    /// them); serialised into `--json` output, not rendered.
+    pub pipes: Vec<PipeTotals>,
 }
 
 impl Table {
@@ -23,6 +47,7 @@ impl Table {
             title: title.into(),
             headers: headers.iter().map(|s| s.to_string()).collect(),
             rows: Vec::new(),
+            pipes: Vec::new(),
         }
     }
 
@@ -30,6 +55,28 @@ impl Table {
     pub fn row(&mut self, cells: Vec<String>) {
         assert_eq!(cells.len(), self.headers.len(), "row arity");
         self.rows.push(cells);
+    }
+
+    /// Attaches per-pipe totals from `stats`, labelled with `row` (the
+    /// row's first cell), keeping only the `top` pipes by bytes sent so a
+    /// 10k-node sweep doesn't serialise half a million pipe entries.
+    pub fn pipe_totals(&mut self, row: &str, stats: &codb_net::NetStats, top: usize) {
+        let mut pipes: Vec<PipeTotals> = stats
+            .per_pipe
+            .iter()
+            .map(|(&(from, to), p)| PipeTotals {
+                row: row.to_owned(),
+                from: from.0,
+                to: to.0,
+                sent: p.sent,
+                delivered: p.delivered,
+                dropped: p.dropped,
+                bytes: p.bytes_sent,
+            })
+            .collect();
+        pipes.sort_by(|a, b| b.bytes.cmp(&a.bytes).then(a.from.cmp(&b.from)));
+        pipes.truncate(top);
+        self.pipes.extend(pipes);
     }
 
     /// Renders the table with aligned columns.

@@ -125,6 +125,22 @@ impl CoDbNetwork {
         Ok(net)
     }
 
+    /// Attaches a flight-recorder handle to the whole stack: the
+    /// simulator (net events), every node (protocol events, including
+    /// already-open stores) and the shared group-commit scheduler (fsync
+    /// drains). Nodes restarted or persisted later inherit it.
+    pub fn attach_tracer(&mut self, tracer: &codb_trace::Tracer) {
+        self.sim.attach_tracer(tracer.clone());
+        for id in self.sim.peer_ids() {
+            if let Some(node) = self.sim.peer_mut(id) {
+                node.attach_tracer(tracer);
+            }
+        }
+        if let Some(sched) = &self.fsync_sched {
+            sched.attach_tracer(tracer.clone());
+        }
+    }
+
     /// The underlying simulator (for failure injection and inspection).
     pub fn sim(&self) -> &SimNet<Envelope, CoDbNode> {
         &self.sim
@@ -455,6 +471,11 @@ impl CoDbNetwork {
             &self.config.rules,
             self.settings.clone(),
         );
+        // The new incarnation keeps recording into the same trace (rejoin
+        // steps are exactly what a postmortem wants to see).
+        if self.sim.tracer().is_enabled() {
+            node.attach_tracer(&self.sim.tracer().clone());
+        }
         // A restart rejoins the network's shared fsync scheduler (if the
         // policy batches group-wide), so a recovered node's appends
         // coalesce with its peers' again.

@@ -17,6 +17,7 @@ use crate::stats::{NetworkReport, NodeReport};
 use crate::update::UpdateState;
 use codb_net::{Context, Peer, PeerId, PipeConfig, SimTime};
 use codb_relational::{ConjunctiveQuery, DatabaseSchema, Instance, NullFactory, Tuple};
+use codb_trace::Tracer;
 use std::collections::BTreeMap;
 
 /// Tunables of one node.
@@ -110,6 +111,9 @@ pub struct CoDbNode {
     /// First storage error, latched; the store detaches on error so a
     /// diverged log never keeps growing silently.
     pub(crate) persist_error: Option<String>,
+    /// Flight-recorder handle (disabled by default): update applies, rule
+    /// firings, DS credit movements and rejoin steps emit typed events.
+    pub(crate) tracer: Tracer,
 }
 
 impl CoDbNode {
@@ -158,7 +162,18 @@ impl CoDbNode {
             collected: NetworkReport::default(),
             persist: None,
             persist_error: None,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches a flight-recorder handle to this node (and to its store,
+    /// if one is already open). Events carry the node id; string fields
+    /// (rule names, store paths) go through the tracer's intern table.
+    pub fn attach_tracer(&mut self, tracer: &Tracer) {
+        if let Some(store) = &mut self.persist {
+            store.attach_tracer(tracer);
+        }
+        self.tracer = tracer.clone();
     }
 
     /// Marks this node as the super-peer holding `config`.
@@ -286,7 +301,7 @@ impl CoDbNode {
             // incarnation to acquaintances on start (crate::rejoin).
             self.reliable.set_epoch(recovered.epoch);
             self.pending_rejoin = true;
-            self.persist = Some(store);
+            self.adopt_store(store);
             Ok(Some(stats))
         } else {
             let store = codb_store::Store::create_with(
@@ -298,9 +313,18 @@ impl CoDbNode {
                 codec,
                 group,
             )?;
-            self.persist = Some(store);
+            self.adopt_store(store);
             Ok(None)
         }
+    }
+
+    /// Installs a freshly opened store, inheriting this node's tracer so a
+    /// recorder attached before `open_persistence` still sees WAL events.
+    fn adopt_store(&mut self, mut store: codb_store::Store) {
+        if self.tracer.is_enabled() {
+            store.attach_tracer(&self.tracer);
+        }
+        self.persist = Some(store);
     }
 
     /// The attached store, if any.

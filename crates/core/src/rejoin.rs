@@ -35,6 +35,7 @@ use crate::ids::{NodeId, RuleName};
 use crate::messages::{Body, Envelope};
 use crate::node::CoDbNode;
 use codb_net::Context;
+use codb_trace::TraceEvent;
 use std::collections::BTreeSet;
 
 impl CoDbNode {
@@ -46,6 +47,7 @@ impl CoDbNode {
         }
         self.pending_rejoin = false;
         let epoch = self.reliable.epoch();
+        self.tracer.emit_with(|| TraceEvent::RejoinAnnounce { peer: self.id.0, epoch });
         for acq in self.book.acquaintances(self.id) {
             self.post(ctx, acq, Body::Rejoin { epoch });
         }
@@ -56,10 +58,17 @@ impl CoDbNode {
     /// the announced epoch.
     pub(crate) fn handle_rejoin(&mut self, ctx: &mut Context<Envelope>, from: NodeId, epoch: u64) {
         let known = self.rejoin_epochs.get(&from).copied();
-        if known.is_none_or(|k| epoch > k) {
+        let invalidated = if known.is_none_or(|k| epoch > k) {
             self.rejoin_epochs.insert(from, epoch);
-            self.invalidate_sent_caches_toward(from);
-        }
+            self.invalidate_sent_caches_toward(from)
+        } else {
+            0 // duplicate/stale incarnation: ack without invalidating
+        };
+        self.tracer.emit_with(|| TraceEvent::RejoinRecv {
+            peer: self.id.0,
+            from: from.0,
+            invalidated: invalidated as u64,
+        });
         self.post(ctx, from, Body::RejoinAck { epoch });
     }
 
@@ -69,6 +78,12 @@ impl CoDbNode {
     pub(crate) fn handle_rejoin_ack(&mut self, from: NodeId, epoch: u64) {
         if epoch == self.reliable.epoch() {
             self.rejoin_acks.insert(from);
+        }
+        if self.tracer.is_enabled() {
+            let pending =
+                self.book.acquaintances(self.id).len().saturating_sub(self.rejoin_acks.len())
+                    as u64;
+            self.tracer.emit(TraceEvent::RejoinAck { peer: self.id.0, from: from.0, pending });
         }
     }
 

@@ -36,6 +36,7 @@ use crate::messages::{Body, Envelope};
 use crate::node::CoDbNode;
 use codb_net::{Context, SimTime};
 use codb_relational::{RuleFiring, Tuple};
+use codb_trace::TraceEvent;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Per-update state at one node.
@@ -230,6 +231,7 @@ impl CoDbNode {
         if !engaging {
             // Non-engaging DS messages are credited back immediately after
             // processing; the engaging credit is held until disengagement.
+            self.tracer.emit_with(|| TraceEvent::DsAck { peer: self.id.0, to: from.0, credits: 1 });
             self.post(ctx, from, Body::DsAck { update, credits: 1 });
         }
         self.maybe_disengage(ctx, update);
@@ -328,6 +330,14 @@ impl CoDbNode {
                 .expect("firings validated against schema");
             let added: u64 = deltas.values().map(|v| v.len() as u64).sum();
             self.report.update_mut(update, now).tuples_added += added;
+            if self.tracer.is_enabled() {
+                let r = self.tracer.intern(&rule);
+                self.tracer.emit(TraceEvent::UpdateApply {
+                    peer: self.id.0,
+                    rule: r,
+                    tuples: added,
+                });
+            }
             if !deltas.is_empty() {
                 if hops >= self.settings.max_hops {
                     // Chase safety valve.
@@ -432,6 +442,11 @@ impl CoDbNode {
             .entry(name.clone())
             .or_default()
             .record(fresh.len() as u64, bytes as u64);
+        self.tracer.emit_with(|| TraceEvent::RuleFire {
+            peer: self.id.0,
+            link: target.0,
+            firings: fresh.len() as u64,
+        });
         self.post(
             ctx,
             target,
@@ -524,6 +539,8 @@ impl CoDbNode {
         let now = ctx.now();
         let st = self.updates.entry(update).or_insert_with(|| UpdateState::new(update, now));
         st.deficit = st.deficit.saturating_sub(credits);
+        let deficit = st.deficit;
+        self.tracer.emit_with(|| TraceEvent::DsCredit { peer: self.id.0, credits, deficit });
         self.maybe_disengage(ctx, update);
     }
 
@@ -541,6 +558,11 @@ impl CoDbNode {
             let parent = st.parent.expect("engaged non-initiator has a parent");
             st.engaged = false;
             st.parent = None;
+            self.tracer.emit_with(|| TraceEvent::DsAck {
+                peer: self.id.0,
+                to: parent.0,
+                credits: 1,
+            });
             self.post(ctx, parent, Body::DsAck { update, credits: 1 });
         }
     }

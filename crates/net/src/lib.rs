@@ -39,3 +39,7 @@ pub use queue::CalendarQueue;
 pub use sim::{SimConfig, SimNet, TraceEntry};
 pub use stats::{NetStats, PipeStats};
 pub use time::SimTime;
+
+// Re-exported so harnesses attaching a flight recorder to a [`SimNet`]
+// don't need a direct codb-trace dependency.
+pub use codb_trace::{TraceEvent, Tracer};

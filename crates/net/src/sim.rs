@@ -41,6 +41,7 @@ use crate::pipe::{PipeConfig, PipeState};
 use crate::queue::CalendarQueue;
 use crate::stats::{NetStats, PipeStats};
 use crate::time::SimTime;
+use codb_trace::{TraceEvent, Tracer};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{BTreeMap, HashMap};
@@ -132,6 +133,7 @@ pub struct SimNet<M: Payload, P: Peer<M>> {
     config: SimConfig,
     events_processed: u64,
     trace: Option<Vec<TraceEntry>>,
+    tracer: Tracer,
 }
 
 impl<M: Payload, P: Peer<M>> SimNet<M, P> {
@@ -150,12 +152,26 @@ impl<M: Payload, P: Peer<M>> SimNet<M, P> {
             config,
             events_processed: 0,
             trace: None,
+            tracer: Tracer::disabled(),
         }
     }
 
     /// Enables per-delivery tracing (for tests and message-level reports).
     pub fn enable_trace(&mut self) {
         self.trace = Some(Vec::new());
+    }
+
+    /// Attaches a flight-recorder handle: the simulator stamps it with
+    /// sim-time before dispatching each event (so nested node/store
+    /// events inherit the simulated instant) and emits
+    /// send/deliver/drop/timer-fire events through it.
+    pub fn attach_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The attached flight-recorder handle (disabled by default).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// The recorded trace, if tracing is enabled.
@@ -342,6 +358,10 @@ impl<M: Payload, P: Peer<M>> SimNet<M, P> {
         let p = self.folded.entry((from, to)).or_default();
         p.sent += 1;
         p.bytes_sent += bytes as u64;
+        if self.tracer.is_enabled() {
+            self.tracer.set_clock(self.now.as_nanos());
+            self.tracer.emit(TraceEvent::NetSend { from: from.0, to: to.0, bytes: bytes as u64 });
+        }
         self.push(self.now, EventKind::Deliver { from: fi, to: ti, msg });
     }
 
@@ -383,9 +403,23 @@ impl<M: Payload, P: Peer<M>> SimNet<M, P> {
                     let done = start + edge.config.transmission_time(bytes);
                     edge.state.busy_until = done;
                     let arrival = done + edge.config.latency;
+                    if self.tracer.is_enabled() {
+                        self.tracer.emit(TraceEvent::NetSend {
+                            from: origin_id.0,
+                            to: to.0,
+                            bytes: bytes as u64,
+                        });
+                    }
                     if loss > 0.0 && self.rng.gen::<f64>() < loss {
                         self.totals.dropped += 1;
                         self.slots[origin as usize].adj[pos].stats.dropped += 1;
+                        if self.tracer.is_enabled() {
+                            self.tracer.emit(TraceEvent::NetDrop {
+                                from: origin_id.0,
+                                to: to.0,
+                                bytes: bytes as u64,
+                            });
+                        }
                     } else {
                         self.push(arrival, EventKind::Deliver { from: origin, to: ti, msg });
                     }
@@ -415,6 +449,10 @@ impl<M: Payload, P: Peer<M>> SimNet<M, P> {
         debug_assert!(at >= self.now, "time must be monotone");
         self.now = at;
         self.events_processed += 1;
+        // Stamp the trace clock first: every event emitted below — by the
+        // simulator itself or by node/store code inside a peer callback —
+        // carries this event's sim-time.
+        self.tracer.set_clock(at.as_nanos());
         // The board snapshot is cloned so the peer callback can't observe
         // its own command effects mid-callback.
         let snapshot: Vec<Advertisement> = self.board.snapshot().to_vec();
@@ -448,6 +486,13 @@ impl<M: Payload, P: Peer<M>> SimNet<M, P> {
                             bytes: msg.size_bytes(),
                         });
                     }
+                    if self.tracer.is_enabled() {
+                        self.tracer.emit(TraceEvent::NetDeliver {
+                            from: from_id.0,
+                            to: to_id.0,
+                            bytes: msg.size_bytes() as u64,
+                        });
+                    }
                     let mut ctx = Context::new(to_id, self.now, &snapshot);
                     let peer = self.slots[to as usize].peer.as_mut().unwrap();
                     peer.on_message(&mut ctx, from_id, msg);
@@ -460,6 +505,9 @@ impl<M: Payload, P: Peer<M>> SimNet<M, P> {
             EventKind::Timer { peer: idx, timer } => {
                 let id = self.slots[idx as usize].id;
                 if let Some(peer) = self.slots[idx as usize].peer.as_mut() {
+                    if self.tracer.is_enabled() {
+                        self.tracer.emit(TraceEvent::NetTimer { peer: id.0, timer });
+                    }
                     let mut ctx = Context::new(id, self.now, &snapshot);
                     peer.on_timer(&mut ctx, timer);
                     let cmds = ctx.take_commands();

@@ -59,6 +59,7 @@ type DecodeResult<T> = Result<T, BinDecodeError>;
 // ---- primitive writers ----
 
 /// Appends a LEB128 varint.
+#[inline]
 pub fn put_u64(out: &mut Vec<u8>, mut v: u64) {
     loop {
         let byte = (v & 0x7F) as u8;
@@ -72,26 +73,31 @@ pub fn put_u64(out: &mut Vec<u8>, mut v: u64) {
 }
 
 /// Appends a `u32` as a varint.
+#[inline]
 pub fn put_u32(out: &mut Vec<u8>, v: u32) {
     put_u64(out, v as u64);
 }
 
 /// Appends a `usize` as a varint (element counts, lengths).
+#[inline]
 pub fn put_len(out: &mut Vec<u8>, v: usize) {
     put_u64(out, v as u64);
 }
 
 /// Appends a ZigZag-mapped signed varint.
+#[inline]
 pub fn put_i64(out: &mut Vec<u8>, v: i64) {
     put_u64(out, ((v << 1) ^ (v >> 63)) as u64);
 }
 
 /// Appends a boolean as one byte.
+#[inline]
 pub fn put_bool(out: &mut Vec<u8>, v: bool) {
     out.push(v as u8);
 }
 
 /// Appends a length-prefixed UTF-8 string.
+#[inline]
 pub fn put_str(out: &mut Vec<u8>, s: &str) {
     put_len(out, s.len());
     out.extend_from_slice(s.as_bytes());

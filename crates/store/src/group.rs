@@ -51,6 +51,7 @@
 
 use crate::store::StoreError;
 use crate::wal::SyncPolicy;
+use codb_trace::{TraceEvent, Tracer};
 use std::collections::BTreeMap;
 use std::fs::File;
 use std::path::{Path, PathBuf};
@@ -101,6 +102,9 @@ struct Inner {
     /// drain skips those by re-checking `pending`.
     dirty_ids: Vec<u64>,
     stats: FsyncSchedulerStats,
+    /// Flight recorder: drains emit `Fsync`/`GroupDrain` events through
+    /// it (disabled by default — one branch per drain).
+    tracer: Tracer,
 }
 
 /// Counters the scheduler keeps about itself (experiment E18 reads
@@ -167,8 +171,15 @@ impl FsyncScheduler {
                 dirty_stores: 0,
                 dirty_ids: Vec::new(),
                 stats: FsyncSchedulerStats::default(),
+                tracer: Tracer::disabled(),
             })),
         }
+    }
+
+    /// Attaches a flight-recorder handle: every drain emits per-file
+    /// `Fsync` (with measured duration) and a `GroupDrain` summary.
+    pub fn attach_tracer(&self, tracer: Tracer) {
+        self.lock().tracer = tracer;
     }
 
     /// A scheduler configured from `policy` — `Some` only for
@@ -303,6 +314,9 @@ impl FsyncScheduler {
     /// records stay pending.
     pub(crate) fn flush_writer(&self, id: u64) -> Result<(), StoreError> {
         let mut inner = self.lock();
+        // Cloned out so the flight-recorder handle does not alias the
+        // mutable `slot` borrow (the guard deref can't split fields).
+        let tracer = inner.tracer.clone();
         let (pending, outcome) = {
             let slot = inner.slots.get_mut(&id).expect("writer registered with this scheduler");
             if let Some(detail) = &slot.failed {
@@ -314,10 +328,16 @@ impl FsyncScheduler {
                 // Nothing new on disk; the watermark is already current.
                 (pending, Ok(false))
             } else {
+                let started = tracer.is_enabled().then(std::time::Instant::now);
                 match slot.file.sync_data() {
                     Ok(()) => {
                         slot.durable_len = slot.len;
                         slot.durable_frames = slot.frames;
+                        if let Some(t0) = started {
+                            let store = tracer.intern(&slot.path.display().to_string());
+                            let nanos = t0.elapsed().as_nanos() as u64;
+                            tracer.emit(TraceEvent::Fsync { store, nanos });
+                        }
                         (pending, Ok(true))
                     }
                     Err(e) => {
@@ -388,12 +408,18 @@ fn drain(inner: &mut Inner) {
         }
         visited += 1;
         removed += slot.pending;
+        let started = inner.tracer.is_enabled().then(std::time::Instant::now);
         match slot.file.sync_data() {
             Ok(()) => {
                 fsyncs += 1;
                 acked += slot.pending;
                 slot.durable_len = slot.len;
                 slot.durable_frames = slot.frames;
+                if let Some(t0) = started {
+                    let store = inner.tracer.intern(&slot.path.display().to_string());
+                    let nanos = t0.elapsed().as_nanos() as u64;
+                    inner.tracer.emit(TraceEvent::Fsync { store, nanos });
+                }
             }
             Err(e) => {
                 // These pending records can never be acked; they leave
@@ -409,6 +435,7 @@ fn drain(inner: &mut Inner) {
     inner.stats.fsyncs += fsyncs;
     inner.stats.drained_records += acked;
     inner.stats.failed_stores += failed;
+    inner.tracer.emit_with(|| TraceEvent::GroupDrain { stores: visited, records: acked, fsyncs });
 }
 
 #[cfg(test)]

@@ -8,6 +8,7 @@ use crate::frame::{encode_frame, FrameScanner, FrameStep};
 use crate::group::FsyncScheduler;
 use crate::wal::{read_wal, ProtocolCounters, RecvCaches, SyncPolicy, WalRecord, WalWriter};
 use codb_relational::{apply_firings, Instance, NullFactory, Snapshot, SnapshotError};
+use codb_trace::{TraceEvent, Tracer};
 use std::fmt;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
@@ -202,6 +203,13 @@ pub struct Store {
     /// `Some` iff the policy is [`SyncPolicy::GroupCommit`]; rotation
     /// re-registers the fresh WAL with the same scheduler.
     sched: Option<FsyncScheduler>,
+    /// Flight-recorder handle (disabled by default). Rotation re-attaches
+    /// it to the fresh WAL writer so `WalAppend`/`Fsync` events keep
+    /// flowing across checkpoints.
+    tracer: Tracer,
+    /// Interned id of this store's directory name in the tracer's string
+    /// table (0 while disabled).
+    trace_id: u32,
 }
 
 fn snap_path(dir: &Path, generation: u64) -> PathBuf {
@@ -350,7 +358,16 @@ impl Store {
         // always has its incarnation counter.
         write_epoch(dir, 0)?;
         write_snapshot_file(&snap_path(dir, 0), snapshot, codec)?;
-        Ok(Store { dir: dir.to_owned(), generation: 0, policy, codec, writer, sched })
+        Ok(Store {
+            dir: dir.to_owned(),
+            generation: 0,
+            policy,
+            codec,
+            writer,
+            sched,
+            tracer: Tracer::disabled(),
+            trace_id: 0,
+        })
     }
 
     /// Opens an existing store: loads the latest valid snapshot, replays
@@ -457,7 +474,16 @@ impl Store {
         }
 
         let wal_codec = writer.codec();
-        let store = Store { dir: dir.to_owned(), generation, policy, codec, writer, sched };
+        let store = Store {
+            dir: dir.to_owned(),
+            generation,
+            policy,
+            codec,
+            writer,
+            sched,
+            tracer: Tracer::disabled(),
+            trace_id: 0,
+        };
         store.remove_other_generations()?;
         // Each open is a new incarnation: bump the persisted epoch so the
         // recovered node's envelopes outrank its previous life's. A
@@ -480,6 +506,19 @@ impl Store {
                 wal_codec,
             },
         ))
+    }
+
+    /// Attaches a flight-recorder handle: WAL appends, fsyncs and
+    /// checkpoint rotations of this store emit trace events from here on.
+    /// The store is identified in the trace by its directory name.
+    pub fn attach_tracer(&mut self, tracer: &Tracer) {
+        let name = self.dir.display().to_string();
+        self.trace_id = tracer.intern(&name);
+        self.writer.attach_tracer(tracer.clone(), &name);
+        if let Some(sched) = &self.sched {
+            sched.attach_tracer(tracer.clone());
+        }
+        self.tracer = tracer.clone();
     }
 
     /// Appends one record to the WAL (durability per the sync policy).
@@ -518,6 +557,9 @@ impl Store {
             self.codec,
             self.sched.as_ref(),
         )?;
+        if self.tracer.is_enabled() {
+            writer.attach_tracer(self.tracer.clone(), &self.dir.display().to_string());
+        }
         writer.append(&WalRecord::Caches { recv: recv.clone() })?;
         writer.append(&WalRecord::Counters { counters: *counters })?;
         writer.sync()?;
@@ -526,6 +568,7 @@ impl Store {
         let old = self.generation;
         self.writer = writer;
         self.generation = next;
+        self.tracer.emit_with(|| TraceEvent::Checkpoint { store: self.trace_id, generation: next });
         let _ = std::fs::remove_file(snap_path(&self.dir, old));
         let _ = std::fs::remove_file(wal_path(&self.dir, old));
         // Deletions are cleanup, not correctness; their dir sync is

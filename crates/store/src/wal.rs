@@ -17,6 +17,7 @@ use crate::frame::{encode_frame, FrameScanner, FrameStep};
 use crate::group::FsyncScheduler;
 use crate::store::StoreError;
 use codb_relational::{RuleFiring, Tuple};
+use codb_trace::{TraceEvent, Tracer};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -195,6 +196,10 @@ pub struct WalWriter {
     /// Group-commit membership: the shared scheduler and this writer's id
     /// in it. Present iff the policy is [`SyncPolicy::GroupCommit`].
     group: Option<(FsyncScheduler, u64)>,
+    /// Flight recorder (disabled by default) and this store's interned
+    /// name in it.
+    tracer: Tracer,
+    trace_id: u32,
 }
 
 impl WalWriter {
@@ -234,6 +239,8 @@ impl WalWriter {
             synced_frames: 0,
             fsyncs: 0,
             group,
+            tracer: Tracer::disabled(),
+            trace_id: 0,
         })
     }
 
@@ -281,6 +288,8 @@ impl WalWriter {
             synced_frames: frames,
             fsyncs: 0,
             group,
+            tracer: Tracer::disabled(),
+            trace_id: 0,
         };
         use std::io::Seek as _;
         w.file.seek(std::io::SeekFrom::End(0)).map_err(|e| StoreError::io(path, e))?;
@@ -306,6 +315,15 @@ impl WalWriter {
         Ok(Some((sched, id)))
     }
 
+    /// Attaches a flight-recorder handle under `name` (the store's
+    /// directory): appends emit `WalAppend`, direct syncs emit `Fsync`
+    /// with their measured duration. Group-commit drains are emitted by
+    /// the scheduler instead.
+    pub fn attach_tracer(&mut self, tracer: Tracer, name: &str) {
+        self.trace_id = tracer.intern(name);
+        self.tracer = tracer;
+    }
+
     /// Appends one record (encoded in the file's codec), syncing
     /// according to the policy.
     pub fn append(&mut self, record: &WalRecord) -> Result<(), StoreError> {
@@ -316,6 +334,8 @@ impl WalWriter {
         self.frames += 1;
         self.len += buf.len() as u64;
         self.unsynced += 1;
+        self.tracer
+            .emit_with(|| TraceEvent::WalAppend { store: self.trace_id, bytes: buf.len() as u64 });
         let due = match self.policy {
             SyncPolicy::Always => true,
             SyncPolicy::EveryN(n) => self.unsynced >= n.max(1),
@@ -340,10 +360,15 @@ impl WalWriter {
         if let Some((sched, id)) = &self.group {
             sched.flush_writer(*id)?;
         } else if self.synced_len != self.len {
+            let started = self.tracer.is_enabled().then(std::time::Instant::now);
             self.file.sync_data().map_err(|e| StoreError::io(&self.path, e))?;
             self.fsyncs += 1;
             self.synced_len = self.len;
             self.synced_frames = self.frames;
+            if let Some(t0) = started {
+                let nanos = t0.elapsed().as_nanos() as u64;
+                self.tracer.emit(TraceEvent::Fsync { store: self.trace_id, nanos });
+            }
         }
         self.unsynced = 0;
         Ok(())

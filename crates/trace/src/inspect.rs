@@ -1,0 +1,302 @@
+//! Postmortem summaries: the analysis behind `codb-demo trace inspect`
+//! and the per-phase host-time attribution in `codb-bench`.
+
+use crate::event::TraceEvent;
+use crate::reader::{resolve, TraceFile};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One completed (or still-open) phase.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PhaseSummary {
+    /// The phase name (resolved from the intern table).
+    pub name: String,
+    /// Host wall-clock nanoseconds between begin and end markers.
+    pub host_nanos: u64,
+    /// Trace-clock (sim-time, in simulator runs) nanoseconds spanned.
+    pub sim_nanos: u64,
+    /// Events recorded while this phase was innermost.
+    pub events: u64,
+    /// Whether the end marker was missing (torn trace or unbalanced
+    /// instrumentation).
+    pub open: bool,
+}
+
+/// Per-peer traffic totals, folded from the `Net*` events.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PeerTraffic {
+    /// Messages this peer handed to pipes.
+    pub sent: u64,
+    /// Payload bytes this peer handed to pipes.
+    pub bytes_sent: u64,
+    /// Messages delivered to this peer.
+    pub received: u64,
+    /// Payload bytes delivered to this peer.
+    pub bytes_received: u64,
+    /// This peer's messages dropped by the loss model.
+    pub dropped: u64,
+}
+
+/// Power-of-two histogram of fsync durations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FsyncHistogram {
+    /// `buckets[i]` counts syncs with `nanos < 2^(i+1)` (and `>= 2^i`
+    /// for `i > 0`).
+    pub buckets: [u64; 64],
+    /// Total syncs observed.
+    pub count: u64,
+    /// Total nanoseconds across all syncs.
+    pub total_nanos: u64,
+}
+
+impl Default for FsyncHistogram {
+    fn default() -> Self {
+        FsyncHistogram { buckets: [0; 64], count: 0, total_nanos: 0 }
+    }
+}
+
+impl FsyncHistogram {
+    fn record(&mut self, nanos: u64) {
+        let bucket = 63u32.saturating_sub(nanos.max(1).leading_zeros()) as usize;
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.total_nanos += nanos;
+    }
+}
+
+/// Everything `trace inspect` reports about one trace.
+#[derive(Clone, Debug, Default)]
+pub struct Summary {
+    /// Phases in completion order (open phases last, flagged).
+    pub phases: Vec<PhaseSummary>,
+    /// Traffic per peer id.
+    pub peers: BTreeMap<u64, PeerTraffic>,
+    /// Fsync duration distribution.
+    pub fsyncs: FsyncHistogram,
+    /// Events per variant name.
+    pub event_counts: BTreeMap<&'static str, u64>,
+    /// Total events in the trace.
+    pub total_events: u64,
+    /// First and last trace-clock timestamps.
+    pub span: (u64, u64),
+    /// Whether the trace ended in a torn block.
+    pub torn: bool,
+}
+
+impl Summary {
+    /// Folds a decoded trace into its summary.
+    pub fn from_trace(trace: &TraceFile) -> Summary {
+        let strings = trace.strings();
+        let mut s = Summary { torn: trace.torn, ..Summary::default() };
+        if let (Some((first, _)), Some((last, _))) = (trace.events.first(), trace.events.last()) {
+            s.span = (*first, *last);
+        }
+        // (name, begin host, begin sim, events while innermost)
+        let mut stack: Vec<(String, u64, u64, u64)> = Vec::new();
+        for (at, ev) in &trace.events {
+            s.total_events += 1;
+            *s.event_counts.entry(ev.kind()).or_insert(0) += 1;
+            if let Some(top) = stack.last_mut() {
+                top.3 += 1;
+            }
+            match ev {
+                TraceEvent::PhaseBegin { name, host_nanos } => {
+                    stack.push((resolve(&strings, *name), *host_nanos, *at, 0));
+                }
+                TraceEvent::PhaseEnd { name, host_nanos } => {
+                    let name = resolve(&strings, *name);
+                    // Pop to the matching frame: unbalanced inner frames
+                    // (from a torn trace) close as open phases.
+                    while let Some((n, h0, s0, evs)) = stack.pop() {
+                        let matched = n == name;
+                        s.phases.push(PhaseSummary {
+                            name: n,
+                            host_nanos: host_nanos.saturating_sub(h0),
+                            sim_nanos: at.saturating_sub(s0),
+                            events: evs,
+                            open: !matched,
+                        });
+                        if matched {
+                            break;
+                        }
+                    }
+                }
+                TraceEvent::NetSend { from, to, bytes } => {
+                    let p = s.peers.entry(*from).or_default();
+                    p.sent += 1;
+                    p.bytes_sent += bytes;
+                    s.peers.entry(*to).or_default();
+                }
+                TraceEvent::NetDeliver { from: _, to, bytes } => {
+                    let p = s.peers.entry(*to).or_default();
+                    p.received += 1;
+                    p.bytes_received += bytes;
+                }
+                TraceEvent::NetDrop { from, .. } => {
+                    s.peers.entry(*from).or_default().dropped += 1;
+                }
+                TraceEvent::Fsync { nanos, .. } => s.fsyncs.record(*nanos),
+                _ => {}
+            }
+        }
+        // Phases never closed (torn tail, or inspect ran mid-run).
+        while let Some((n, _h0, s0, evs)) = stack.pop() {
+            s.phases.push(PhaseSummary {
+                name: n,
+                host_nanos: 0,
+                sim_nanos: s.span.1.saturating_sub(s0),
+                events: evs,
+                open: true,
+            });
+        }
+        s
+    }
+
+    /// Host nanoseconds of the first completed phase called `name`.
+    pub fn phase_host_nanos(&self, name: &str) -> Option<u64> {
+        self.phases.iter().find(|p| p.name == name && !p.open).map(|p| p.host_nanos)
+    }
+
+    /// Renders the summary for `trace inspect`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "trace: {} events, span {} .. {}, tail {}",
+            self.total_events,
+            fmt_nanos(self.span.0),
+            fmt_nanos(self.span.1),
+            if self.torn { "TORN (crash mid-recording)" } else { "clean" },
+        );
+
+        let _ = writeln!(out, "\nphases ({}):", self.phases.len());
+        if self.phases.is_empty() {
+            let _ = writeln!(out, "  (none recorded)");
+        }
+        for p in &self.phases {
+            let _ = writeln!(
+                out,
+                "  {:<24} host {:>10}  sim {:>10}  events {:>8}{}",
+                p.name,
+                fmt_nanos(p.host_nanos),
+                fmt_nanos(p.sim_nanos),
+                p.events,
+                if p.open { "  (unclosed)" } else { "" },
+            );
+        }
+
+        let _ = writeln!(out, "\nper-peer traffic ({} peers):", self.peers.len());
+        const PEER_CAP: usize = 20;
+        let mut by_traffic: Vec<(&u64, &PeerTraffic)> = self.peers.iter().collect();
+        by_traffic
+            .sort_by_key(|(id, t)| (std::cmp::Reverse(t.bytes_sent + t.bytes_received), **id));
+        for (id, t) in by_traffic.iter().take(PEER_CAP) {
+            let _ = writeln!(
+                out,
+                "  peer {:<8} sent {:>8} msgs / {:>10}B   recv {:>8} msgs / {:>10}B   dropped {}",
+                id, t.sent, t.bytes_sent, t.received, t.bytes_received, t.dropped,
+            );
+        }
+        if self.peers.len() > PEER_CAP {
+            let _ =
+                writeln!(out, "  … {} more peers (sorted by traffic)", self.peers.len() - PEER_CAP);
+        }
+
+        let _ = writeln!(
+            out,
+            "\nfsync durations ({} syncs, {} total):",
+            self.fsyncs.count,
+            fmt_nanos(self.fsyncs.total_nanos)
+        );
+        for (i, n) in self.fsyncs.buckets.iter().enumerate() {
+            if *n > 0 {
+                let _ = writeln!(out, "  < {:>10}: {n}", fmt_nanos(1u64 << (i + 1).min(63)));
+            }
+        }
+
+        let _ = writeln!(out, "\nevent counts:");
+        for (kind, n) in &self.event_counts {
+            let _ = writeln!(out, "  {kind:<16} {n}");
+        }
+        out
+    }
+}
+
+/// Renders nanoseconds human-readably (`1.25ms`, `830ns`, …).
+pub fn fmt_nanos(n: u64) -> String {
+    if n >= 1_000_000_000 {
+        format!("{:.2}s", n as f64 / 1e9)
+    } else if n >= 1_000_000 {
+        format!("{:.2}ms", n as f64 / 1e6)
+    } else if n >= 1_000 {
+        format!("{:.2}us", n as f64 / 1e3)
+    } else {
+        format!("{n}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reader::TraceFile;
+
+    fn trace(events: Vec<(u64, TraceEvent)>) -> TraceFile {
+        TraceFile { events, torn: false }
+    }
+
+    #[test]
+    fn phases_attribute_host_and_sim_time() {
+        let t = trace(vec![
+            (0, TraceEvent::Intern { id: 1, text: "flood".into() }),
+            (10, TraceEvent::PhaseBegin { name: 1, host_nanos: 1_000 }),
+            (20, TraceEvent::NetSend { from: 0, to: 1, bytes: 8 }),
+            (500, TraceEvent::PhaseEnd { name: 1, host_nanos: 51_000 }),
+        ]);
+        let s = Summary::from_trace(&t);
+        assert_eq!(s.phases.len(), 1);
+        let p = &s.phases[0];
+        assert_eq!(p.name, "flood");
+        assert_eq!(p.host_nanos, 50_000);
+        assert_eq!(p.sim_nanos, 490);
+        assert_eq!(p.events, 2); // the send + the end marker
+        assert!(!p.open);
+        assert_eq!(s.phase_host_nanos("flood"), Some(50_000));
+    }
+
+    #[test]
+    fn unclosed_phase_is_flagged_open() {
+        let t = trace(vec![
+            (0, TraceEvent::Intern { id: 1, text: "crashy".into() }),
+            (5, TraceEvent::PhaseBegin { name: 1, host_nanos: 7 }),
+            (9, TraceEvent::NetSend { from: 0, to: 1, bytes: 8 }),
+        ]);
+        let s = Summary::from_trace(&t);
+        assert_eq!(s.phases.len(), 1);
+        assert!(s.phases[0].open);
+        assert_eq!(s.phase_host_nanos("crashy"), None);
+    }
+
+    #[test]
+    fn traffic_and_fsyncs_fold() {
+        let t = trace(vec![
+            (1, TraceEvent::NetSend { from: 3, to: 4, bytes: 100 }),
+            (2, TraceEvent::NetDeliver { from: 3, to: 4, bytes: 100 }),
+            (3, TraceEvent::NetDrop { from: 3, to: 4, bytes: 60 }),
+            (4, TraceEvent::Fsync { store: 1, nanos: 900 }),
+            (5, TraceEvent::Fsync { store: 1, nanos: 1_100 }),
+        ]);
+        let s = Summary::from_trace(&t);
+        assert_eq!(s.peers[&3].sent, 1);
+        assert_eq!(s.peers[&3].bytes_sent, 100);
+        assert_eq!(s.peers[&3].dropped, 1);
+        assert_eq!(s.peers[&4].received, 1);
+        assert_eq!(s.peers[&4].bytes_received, 100);
+        assert_eq!(s.fsyncs.count, 2);
+        assert_eq!(s.fsyncs.total_nanos, 2_000);
+        // 900ns lands in bucket 9 (512..1024), 1100ns in bucket 10.
+        assert_eq!(s.fsyncs.buckets[9], 1);
+        assert_eq!(s.fsyncs.buckets[10], 1);
+        let rendered = s.render();
+        assert!(rendered.contains("per-peer traffic"), "{rendered}");
+    }
+}

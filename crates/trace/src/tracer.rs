@@ -1,0 +1,173 @@
+//! The [`Tracer`] handle threaded through the stack.
+//!
+//! One cloneable handle is shared by the simulator, every node and every
+//! store. Disabled (the default) it is a single `Option` branch per
+//! would-be event — no lock, no allocation, no clock read. Enabled, it
+//! stamps each event from a shared trace clock (the simulator sets it to
+//! sim-time before dispatching each event, so nested node/store events
+//! inherit the simulated instant) and forwards to one shared
+//! [`TraceSink`] behind a mutex.
+
+use crate::event::TraceEvent;
+use crate::sink::{FileRecorder, RingRecorder, TraceSink};
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+/// Host monotonic nanoseconds since the first call in this process —
+/// what [`TraceEvent::PhaseBegin`]/[`TraceEvent::PhaseEnd`] carry so a
+/// reader can attribute *wall-clock* time to phases independently of the
+/// (simulated) trace clock.
+pub fn host_nanos() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+struct Inner {
+    clock: AtomicU64,
+    sink: Arc<Mutex<dyn TraceSink>>,
+    interned: Mutex<HashMap<String, u32>>,
+}
+
+/// A cloneable recording handle; see the module docs.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer").field("enabled", &self.is_enabled()).finish()
+    }
+}
+
+/// Recovers a sink guard even if a previous holder panicked mid-record —
+/// a poisoned trace mutex must never take the database down with it.
+fn lock<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl Tracer {
+    /// The no-op handle: every emit is one branch, nothing is recorded.
+    pub fn disabled() -> Tracer {
+        Tracer { inner: None }
+    }
+
+    /// A tracer recording into `sink`. The caller keeps its own `Arc` to
+    /// the sink and reads it back (or flushes it) after the run.
+    pub fn new(sink: Arc<Mutex<dyn TraceSink>>) -> Tracer {
+        Tracer {
+            inner: Some(Arc::new(Inner {
+                clock: AtomicU64::new(0),
+                sink,
+                interned: Mutex::new(HashMap::new()),
+            })),
+        }
+    }
+
+    /// Convenience: a tracer over a fresh [`RingRecorder`] keeping the
+    /// last `capacity` events, returning both handles.
+    pub fn ring(capacity: usize) -> (Tracer, Arc<Mutex<RingRecorder>>) {
+        let ring = Arc::new(Mutex::new(RingRecorder::new(capacity)));
+        (Tracer::new(ring.clone()), ring)
+    }
+
+    /// Convenience: a tracer over a fresh [`FileRecorder`] writing to
+    /// `path`, returning both handles (keep the recorder to flush it).
+    pub fn to_file(path: impl AsRef<Path>) -> std::io::Result<(Tracer, Arc<Mutex<FileRecorder>>)> {
+        let file = Arc::new(Mutex::new(FileRecorder::create(path)?));
+        Ok((Tracer::new(file.clone()), file))
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Sets the trace clock (nanoseconds). The simulator calls this with
+    /// sim-time before dispatching each event.
+    pub fn set_clock(&self, nanos: u64) {
+        if let Some(inner) = &self.inner {
+            inner.clock.store(nanos, Ordering::Relaxed);
+        }
+    }
+
+    /// The current trace clock (0 when disabled).
+    pub fn clock(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.clock.load(Ordering::Relaxed))
+    }
+
+    /// Records `ev` stamped at the current trace clock.
+    pub fn emit(&self, ev: TraceEvent) {
+        if let Some(inner) = &self.inner {
+            let at = inner.clock.load(Ordering::Relaxed);
+            lock(&inner.sink).record(at, &ev);
+        }
+    }
+
+    /// Records the event built by `f` — the closure never runs when the
+    /// tracer is disabled, so argument computation is free in the off
+    /// state.
+    pub fn emit_with(&self, f: impl FnOnce() -> TraceEvent) {
+        if self.is_enabled() {
+            self.emit(f());
+        }
+    }
+
+    /// Interns `text`, emitting the [`TraceEvent::Intern`] binding the
+    /// first time it is seen. Returns 0 without recording anything when
+    /// disabled.
+    pub fn intern(&self, text: &str) -> u32 {
+        let Some(inner) = &self.inner else {
+            return 0;
+        };
+        let fresh = {
+            let mut table = lock(&inner.interned);
+            match table.get(text) {
+                Some(&id) => return id,
+                None => {
+                    // Ids start at 1: 0 is the disabled-tracer sentinel.
+                    let id = table.len() as u32 + 1;
+                    table.insert(text.to_owned(), id);
+                    id
+                }
+            }
+        };
+        self.emit(TraceEvent::Intern { id: fresh, text: text.to_owned() });
+        fresh
+    }
+
+    /// Marks the start of phase `name` (host wall-clock stamped).
+    pub fn phase_begin(&self, name: &str) {
+        if self.is_enabled() {
+            let name = self.intern(name);
+            self.emit(TraceEvent::PhaseBegin { name, host_nanos: host_nanos() });
+        }
+    }
+
+    /// Marks the end of phase `name` (host wall-clock stamped).
+    pub fn phase_end(&self, name: &str) {
+        if self.is_enabled() {
+            let name = self.intern(name);
+            self.emit(TraceEvent::PhaseEnd { name, host_nanos: host_nanos() });
+        }
+    }
+
+    /// Runs `f` bracketed by phase markers.
+    pub fn phase<T>(&self, name: &str, f: impl FnOnce() -> T) -> T {
+        self.phase_begin(name);
+        let out = f();
+        self.phase_end(name);
+        out
+    }
+
+    /// Flushes the underlying sink (seals a file recorder's open block).
+    pub fn flush(&self) -> std::io::Result<()> {
+        match &self.inner {
+            Some(inner) => lock(&inner.sink).flush(),
+            None => Ok(()),
+        }
+    }
+}

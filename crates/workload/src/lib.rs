@@ -28,5 +28,5 @@ pub use faultplan::{
     FaultPlan, FaultPlanReport, Round,
 };
 pub use scenario::{RuleStyle, Scenario};
-pub use simscale::{run_flood, FloodMsg, FloodPeer, FloodReport};
+pub use simscale::{run_flood, run_flood_traced, FloodMsg, FloodPeer, FloodReport};
 pub use topology::Topology;

@@ -17,7 +17,7 @@
 use crate::topology::Topology;
 use codb_net::{
     Context, LatencyModel, NetStats, Payload, Peer, PeerId, PipeConfig, SimBuilder, SimConfig,
-    SimTime,
+    SimTime, Tracer,
 };
 use serde::Serialize;
 
@@ -137,7 +137,24 @@ pub fn run_flood(
     waves: u32,
     seed: u64,
 ) -> FloodReport {
+    run_flood_traced(topology, pipe, latency, waves, seed, &Tracer::disabled())
+}
+
+/// [`run_flood`] with a flight-recorder handle attached to the simulator.
+/// The run is bracketed into two phases — `build` (topology + spawn) and
+/// `flood` (event loop to quiescence) — so `trace inspect` can attribute
+/// host time; with a disabled tracer the phase markers cost one branch.
+pub fn run_flood_traced(
+    topology: &Topology,
+    pipe: PipeConfig,
+    latency: Option<LatencyModel>,
+    waves: u32,
+    seed: u64,
+    tracer: &Tracer,
+) -> FloodReport {
     assert!(waves <= 64, "per-origin wave bitmask holds at most 64 waves");
+    let start = std::time::Instant::now();
+    tracer.phase_begin("build");
     let n = topology.node_count();
     let edges = topology.edges();
     let mut adj: Vec<Vec<PeerId>> = vec![Vec::new(); n];
@@ -154,7 +171,6 @@ pub fn run_flood(
         list.dedup();
     }
 
-    let start = std::time::Instant::now();
     let mut builder =
         SimBuilder::new(SimConfig { seed, ..Default::default() }).topology(topology, pipe);
     if let Some(model) = latency {
@@ -165,7 +181,11 @@ pub fn run_flood(
         seen: Vec::new(),
         originate: if id.0 == 0 { waves } else { 0 },
     });
+    net.attach_tracer(tracer.clone());
+    tracer.phase_end("build");
+    tracer.phase_begin("flood");
     let sim_time = net.run_until_quiescent();
+    tracer.phase_end("flood");
     let host_ms = start.elapsed().as_secs_f64() * 1000.0;
 
     let reached = net.peers().filter(|(_, p)| (0..waves).all(|w| p.has_seen(0, w))).count();

@@ -4,7 +4,10 @@
 //! (with `--data-dir`) persist node state across invocations.
 //!
 //! ```text
-//! codb-demo [--data-dir DIR] [--codec json|binary] [--sync POLICY] CONFIG_FILE COMMAND...
+//! codb-demo [--data-dir DIR] [--codec json|binary] [--sync POLICY] [--trace FILE]
+//!           CONFIG_FILE COMMAND...
+//! codb-demo trace dump FILE
+//! codb-demo trace inspect FILE
 //!
 //! Options:
 //!   --data-dir DIR                durable stores under DIR/<node>; nodes
@@ -18,6 +21,10 @@
 //!                                 group[:RECORDS[,BATCH]] — group shares
 //!                                 one fsync scheduler across every node's
 //!                                 store (see docs/DURABILITY.md)
+//!   --trace FILE                  record a binary flight-recorder trace of
+//!                                 the whole run (net, protocol and storage
+//!                                 events; each command becomes a phase);
+//!                                 read it back with `trace dump`/`inspect`
 //!
 //! Commands (executed in order):
 //!   update NODE                   start a global update at NODE
@@ -30,6 +37,11 @@
 //!   recover NODE                  crash NODE and restore it from disk
 //!                                 (needs --data-dir)
 //!   stats                         super-peer statistics report (JSON)
+//!
+//! Trace mode (first argument `trace`; no CONFIG_FILE):
+//!   trace dump FILE               print every recorded event
+//!   trace inspect FILE            per-phase time breakdown, per-peer
+//!                                 traffic and fsync histogram
 //! ```
 //!
 //! Example:
@@ -37,11 +49,13 @@
 
 use codb::prelude::*;
 use codb::relational::pretty::render_relation;
+use codb::trace::TraceSink as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: codb-demo [--data-dir DIR] [--codec json|binary] \
-    [--sync always|never|everyN:N|group[:RECORDS[,BATCH]]] CONFIG_FILE COMMAND...\n\
+    [--sync always|never|everyN:N|group[:RECORDS[,BATCH]]] [--trace FILE] CONFIG_FILE COMMAND...\n\
+    \x20      codb-demo trace dump FILE | trace inspect FILE\n\
     commands: update NODE | scoped-update NODE REL[,REL] | query NODE 'Q' |\n\
     local-query NODE 'Q' | show NODE | save NODE | recover NODE | stats";
 
@@ -50,13 +64,40 @@ fn fail(msg: &str) -> ExitCode {
     ExitCode::FAILURE
 }
 
+/// `codb-demo trace dump|inspect FILE` — offline readers for a recorded
+/// flight-recorder file; no CONFIG_FILE, no network.
+fn trace_mode(args: &[String]) -> ExitCode {
+    let (Some(sub), Some(path)) = (args.first(), args.get(1)) else {
+        return fail(&format!("trace needs a subcommand and FILE\n{USAGE}"));
+    };
+    if args.len() > 2 {
+        return fail(&format!("trace {sub} takes exactly one FILE\n{USAGE}"));
+    }
+    let trace = match codb::trace::read_trace_file(path) {
+        Ok(t) => t,
+        Err(e) => return fail(&format!("cannot read trace {path}: {e}")),
+    };
+    match sub.as_str() {
+        "dump" => print!("{}", codb::trace::dump(&trace)),
+        "inspect" => print!("{}", codb::trace::Summary::from_trace(&trace).render()),
+        other => return fail(&format!("unknown trace subcommand {other:?} (dump|inspect)")),
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+
+    // Offline trace readers bypass the config/network machinery entirely.
+    if args.first().map(String::as_str) == Some("trace") {
+        return trace_mode(&args[1..]);
+    }
 
     // Options first (any order, before the config file).
     let mut data_dir: Option<PathBuf> = None;
     let mut codec = Codec::default();
     let mut sync = SyncPolicy::Always;
+    let mut trace_path: Option<PathBuf> = None;
     while let Some(first) = args.first() {
         match first.as_str() {
             "--data-dir" => {
@@ -86,6 +127,13 @@ fn main() -> ExitCode {
                     Err(e) => return fail(&format!("{e}\n{USAGE}")),
                 };
             }
+            "--trace" => {
+                args.remove(0);
+                if args.is_empty() {
+                    return fail(&format!("--trace needs a FILE argument\n{USAGE}"));
+                }
+                trace_path = Some(PathBuf::from(args.remove(0)));
+            }
             flag if flag.starts_with("--") => {
                 return fail(&format!("unknown option {flag:?}\n{USAGE}"));
             }
@@ -107,6 +155,16 @@ fn main() -> ExitCode {
         Ok(n) => n,
         Err(e) => return fail(&e.to_string()),
     };
+    // Attach the flight recorder before persistence opens so the stores
+    // inherit it; each command below becomes a named phase in the trace.
+    let (tracer, recorder) = match &trace_path {
+        Some(path) => match Tracer::to_file(path) {
+            Ok((t, r)) => (t, Some(r)),
+            Err(e) => return fail(&format!("cannot create trace {}: {e}", path.display())),
+        },
+        None => (Tracer::disabled(), None),
+    };
+    net.attach_tracer(&tracer);
     if let Some(dir) = &data_dir {
         if let Err(e) = std::fs::create_dir_all(dir) {
             return fail(&format!("cannot create data dir {}: {e}", dir.display()));
@@ -131,6 +189,9 @@ fn main() -> ExitCode {
 
     let mut it = rest.iter();
     while let Some(cmd) = it.next() {
+        // Every command is a trace phase; a command that fails hard exits
+        // before its `phase_end`, which `trace inspect` reports as open.
+        tracer.phase_begin(cmd);
         match cmd.as_str() {
             "update" => {
                 let Some(name) = it.next() else { return fail("update needs NODE") };
@@ -236,6 +297,16 @@ fn main() -> ExitCode {
                 }
             }
             other => return fail(&format!("unknown command {other:?}\n{USAGE}")),
+        }
+        tracer.phase_end(cmd);
+    }
+    if let Some(rec) = &recorder {
+        let flushed = rec.lock().unwrap_or_else(|poisoned| poisoned.into_inner()).flush();
+        if let Err(e) = flushed {
+            return fail(&format!("trace flush failed: {e}"));
+        }
+        if let Some(path) = &trace_path {
+            eprintln!("codb-demo: wrote trace to {}", path.display());
         }
     }
     ExitCode::SUCCESS

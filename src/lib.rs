@@ -49,7 +49,8 @@
 //! deterministic discrete-event P2P simulator standing in for JXTA),
 //! [`core`] (the coDB node and its distributed algorithms), [`store`]
 //! (the durable storage engine: WAL + snapshots + crash recovery +
-//! shared group-commit fsync scheduling) and [`workload`]
+//! shared group-commit fsync scheduling), [`trace`] (the binary flight
+//! recorder every layer emits events into) and [`workload`]
 //! (topology/data/crash-scenario generators for the experiments).
 //!
 //! The crate map with a data-flow diagram lives in [`architecture`]
@@ -60,6 +61,7 @@ pub use codb_core as core;
 pub use codb_net as net;
 pub use codb_relational as relational;
 pub use codb_store as store;
+pub use codb_trace as trace;
 pub use codb_workload as workload;
 
 // In scope so the [`architecture`] page's intra-doc links resolve
@@ -82,6 +84,9 @@ pub mod prelude {
     pub use codb_store::{
         Codec, FsyncScheduler, FsyncSchedulerStats, ProtocolCounters, Store, StoreError,
         SyncPolicy, WalRecord,
+    };
+    pub use codb_trace::{
+        read_trace_file, FileRecorder, RingRecorder, Summary, TraceEvent, TraceFile, Tracer,
     };
     pub use codb_workload::{
         run_crash_restart, run_fault_plan, run_fault_plan_differential, CodecDifferentialReport,

@@ -311,7 +311,7 @@ fn usage_text_stays_in_sync_with_accepted_flags() {
     advertised.dedup();
     assert_eq!(
         advertised,
-        vec!["--codec", "--data-dir", "--sync"],
+        vec!["--codec", "--data-dir", "--sync", "--trace"],
         "the usage text advertises exactly the known flags:\n{usage}"
     );
     for flag in &advertised {
@@ -325,12 +325,84 @@ fn usage_text_stays_in_sync_with_accepted_flags() {
         assert!(!err.contains("unknown option"), "{flag}: {err}");
     }
 
-    // Direction 2: every command the dispatcher knows is listed too.
-    for cmd in
-        ["update", "scoped-update", "query", "local-query", "show", "save", "recover", "stats"]
-    {
+    // Direction 2: every command the dispatcher knows is listed too,
+    // including the offline trace subcommands.
+    for cmd in [
+        "update",
+        "scoped-update",
+        "query",
+        "local-query",
+        "show",
+        "save",
+        "recover",
+        "stats",
+        "trace dump",
+        "trace inspect",
+    ] {
         assert!(usage.contains(cmd), "command {cmd} missing from usage:\n{usage}");
     }
+}
+
+/// `--trace` records a run, and the offline `trace dump` / `trace
+/// inspect` subcommands read it back — the whole flight-recorder loop
+/// through one binary.
+#[test]
+fn trace_flag_records_and_subcommands_read_back() {
+    let config = write_config();
+    let data = TempDir::new("codb-demo-trace");
+    let trace_path = std::path::Path::new(data.as_str()).join("run.trc");
+    let trace = trace_path.to_str().unwrap();
+    let out = demo()
+        .args([
+            "--data-dir",
+            data.as_str(),
+            "--trace",
+            trace,
+            config.as_str(),
+            "update",
+            "portal",
+            "save",
+            "portal",
+            "query",
+            "portal",
+            "ans(N) :- person(N, A).",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("wrote trace"), "flush reported");
+    let magic = &std::fs::read(&trace_path).unwrap()[..8];
+    assert_eq!(magic, b"CODBTRC1", "trace file magic");
+
+    // dump prints one line per event, including layer-spanning kinds.
+    let out = demo().args(["trace", "dump", trace]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let dump = String::from_utf8_lossy(&out.stdout).to_string();
+    for needle in ["phase-begin update", "send", "wal", "fsync", "apply"] {
+        assert!(dump.contains(needle), "dump misses {needle}:\n{dump}");
+    }
+
+    // inspect summarises phases (one per command) and traffic.
+    let out = demo().args(["trace", "inspect", trace]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let inspect = String::from_utf8_lossy(&out.stdout).to_string();
+    for needle in ["phases (3)", "update", "save", "query", "per-peer traffic", "tail clean"] {
+        assert!(inspect.contains(needle), "inspect misses {needle}:\n{inspect}");
+    }
+
+    // Offline mode fails cleanly on garbage.
+    let out = demo().args(["trace", "inspect", "/nonexistent.trc"]).output().unwrap();
+    assert!(!out.status.success());
+    let out = demo().args(["trace", "frobnicate", trace]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown trace subcommand"));
+    let out = demo().args(["trace"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+    // A non-trace file is rejected as bad magic, not misparsed.
+    let out = demo().args(["trace", "dump", config.as_str()]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("magic"));
 }
 
 #[test]
