@@ -682,7 +682,10 @@ pub fn e16() -> Table {
 /// codec), restarts it from disk, has the *recovered node* initiate the
 /// reconvergence update, and reports the rejoin cost in messages — the
 /// `Rejoin`/`RejoinAck` handshake plus the one-off full re-send overhead
-/// relative to a never-crashed control.
+/// relative to a never-crashed control — next to the **barrier cost**:
+/// the messages survivors parked behind the rejoin barrier and released
+/// at the handshake plus the `RejoinRepair` re-sends that close the
+/// forwarded-but-unsynced window.
 pub fn e17() -> Table {
     use codb_relational::glav::TField;
     use codb_relational::{RelationSchema, Snapshot, Value, ValueType};
@@ -706,6 +709,7 @@ pub fn e17() -> Table {
             "tuples",
             "victim ckpt (events)",
             "rejoin cost (msgs)",
+            "barrier cost (msgs)",
             "ingest/recover ms (traced)",
         ],
     );
@@ -811,6 +815,7 @@ pub fn e17() -> Table {
                 rec.instance.tuple_count().to_string(),
                 victim_ckpt.map_or("never".to_owned(), |e| e.to_string()),
                 report.rejoin_cost_messages().to_string(),
+                report.barrier_cost_messages().to_string(),
                 {
                     let s = crate::phases::phase_summary(&phases);
                     format!(

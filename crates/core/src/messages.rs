@@ -99,6 +99,22 @@ pub enum Body {
         /// The epoch being acknowledged.
         epoch: u64,
     },
+    /// Repair data pushed at barrier release: when a neighbor processes a
+    /// strictly newer [`Body::Rejoin`] it re-fires every link targeting
+    /// the rejoined node over its full LDB and ships the result
+    /// immediately, instead of waiting for the next organic update to
+    /// re-send what the crashed incarnation lost (ROADMAP window (a)).
+    /// Unlike [`Body::UpdateData`] this carries no update id and is not
+    /// Dijkstra–Scholten counted — repair is a standalone push, dedup'd
+    /// by the receiver's cross-update template caches, which also bound
+    /// the cascade of further `RejoinRepair` hops it may trigger.
+    RejoinRepair {
+        /// The coordination rule (an outgoing link at the receiver).
+        rule: RuleName,
+        /// Re-fired rule firings (already filtered through the sender's
+        /// freshly invalidated sent-cache for this link).
+        firings: Vec<RuleFiring>,
+    },
 
     // ---- query-time answering (paper §1, §3) ----
     /// Ask an acquaintance to execute `rule`'s body on behalf of a query.
@@ -182,6 +198,9 @@ impl Body {
             Body::DsAck { .. } => 32,
             Body::UpdateComplete { .. } => 32,
             Body::Rejoin { .. } | Body::RejoinAck { .. } => 24,
+            Body::RejoinRepair { firings, .. } => {
+                40 + firings.iter().map(RuleFiring::size_bytes).sum::<usize>()
+            }
             Body::QueryRequest { path, .. } => 48 + path.len() * 8,
             Body::QueryAnswer { firings, .. } => {
                 32 + firings.iter().map(RuleFiring::size_bytes).sum::<usize>()
@@ -223,6 +242,22 @@ impl Body {
         )
     }
 
+    /// True for messages the rejoin barrier parks instead of abandoning
+    /// when retransmission toward a peer exhausts
+    /// [`crate::reliable::Reliable::max_attempts`]: the peer is presumed
+    /// crashed and mid-handshake, so data and handshake traffic must wait
+    /// for its new incarnation rather than be dropped. DS credit returns,
+    /// completion floods, query traffic and stats keep the old
+    /// abandonment semantics — they are either re-derivable or meaningless
+    /// to a dead incarnation.
+    pub fn parks_behind_barrier(&self) -> bool {
+        self.is_ds_counted()
+            || matches!(
+                self,
+                Body::Rejoin { .. } | Body::RejoinAck { .. } | Body::RejoinRepair { .. }
+            )
+    }
+
     /// Short tag for per-kind statistics.
     pub fn kind(&self) -> &'static str {
         match self {
@@ -235,6 +270,7 @@ impl Body {
             Body::UpdateComplete { .. } => "update_complete",
             Body::Rejoin { .. } => "rejoin",
             Body::RejoinAck { .. } => "rejoin_ack",
+            Body::RejoinRepair { .. } => "rejoin_repair",
             Body::QueryRequest { .. } => "query_request",
             Body::QueryAnswer { .. } => "query_answer",
             Body::RulesFile { .. } => "rules_file",
@@ -299,6 +335,31 @@ mod tests {
         assert!(!Body::StatsRequest.is_ds_counted());
         assert!(!Body::Rejoin { epoch: 1 }.is_ds_counted());
         assert!(!Body::RejoinAck { epoch: 1 }.is_ds_counted());
+        assert!(!Body::RejoinRepair { rule: "r".into(), firings: vec![] }.is_ds_counted());
+    }
+
+    #[test]
+    fn barrier_parks_data_and_handshake_but_not_bookkeeping() {
+        // Everything DS-counted is real work the rejoined peer must
+        // eventually see.
+        assert!(Body::UpdateRequest { update: upd() }.parks_behind_barrier());
+        assert!(Body::UpdateData { update: upd(), rule: "r".into(), firings: vec![], hops: 1 }
+            .parks_behind_barrier());
+        assert!(Body::LinkClosed { update: upd(), rule: "r".into(), data_msgs: 0 }
+            .parks_behind_barrier());
+        assert!(Body::DemandLink { update: upd(), rule: "r".into() }.parks_behind_barrier());
+        // The handshake itself parks: abandoning a Rejoin toward a
+        // still-dead peer strands the handshake forever (window (b)).
+        assert!(Body::Rejoin { epoch: 1 }.parks_behind_barrier());
+        assert!(Body::RejoinAck { epoch: 1 }.parks_behind_barrier());
+        assert!(Body::RejoinRepair { rule: "r".into(), firings: vec![] }.parks_behind_barrier());
+        // Bookkeeping keeps the abandonment semantics.
+        assert!(!Body::DsAck { update: upd(), credits: 1 }.parks_behind_barrier());
+        assert!(!Body::UpdateComplete { update: upd() }.parks_behind_barrier());
+        assert!(!Body::Ack { seq: 0 }.parks_behind_barrier());
+        assert!(!Body::StatsRequest.parks_behind_barrier());
+        let req = crate::ids::ReqId { node: NodeId(1), epoch: 0, seq: 0 };
+        assert!(!Body::QueryAnswer { req, firings: vec![], closed: true }.parks_behind_barrier());
     }
 
     #[test]

@@ -452,6 +452,29 @@ impl CoDbNetwork {
         policy: codb_store::SyncPolicy,
         codec: codb_store::Codec,
     ) -> Result<codb_store::RecoveryStats, codb_store::StoreError> {
+        let stats = self.restart_node_from_disk_live(id, dir, policy, codec)?;
+        self.sim.run_until_quiescent();
+        Ok(stats)
+    }
+
+    /// [`CoDbNetwork::restart_node_from_disk`] without the trailing drain:
+    /// the restarted node is re-added and its start events (pipe opening,
+    /// the `Rejoin` announcement) are *scheduled* but not run to
+    /// quiescence. This is the fault-injection hook for restarting a node
+    /// **mid-round**, so its rejoin handshake — and the barrier release +
+    /// repair it triggers at every neighbor — interleaves with live
+    /// update traffic instead of running in a conveniently idle network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a configured node.
+    pub fn restart_node_from_disk_live(
+        &mut self,
+        id: NodeId,
+        dir: &std::path::Path,
+        policy: codb_store::SyncPolicy,
+        codec: codb_store::Codec,
+    ) -> Result<codb_store::RecoveryStats, codb_store::StoreError> {
         let nc = self
             .config
             .nodes
@@ -484,7 +507,6 @@ impl CoDbNetwork {
             .open_persistence_with(dir, policy, codec, sched.as_ref())?
             .expect("Store::exists checked above, so open_persistence recovers");
         self.sim.add_peer(id.peer(), node);
-        self.sim.run_until_quiescent();
         Ok(stats)
     }
 }

@@ -414,7 +414,11 @@ impl CoDbNode {
 
     /// Sends `body` to `to` reliably: assigns a transport seq, records the
     /// message for retransmission, bumps Dijkstra–Scholten deficit when
-    /// applicable, counts statistics, arms the retransmit timer.
+    /// applicable, counts statistics, arms the retransmit timer. A peer
+    /// behind the rejoin barrier still gets new sends — they double as
+    /// liveness probes (a healed partition has no handshake to wait for)
+    /// and park alongside the held backlog only if they, too, exhaust
+    /// their retransmission budget.
     pub(crate) fn post(&mut self, ctx: &mut Context<Envelope>, to: NodeId, body: Body) {
         if body.is_ds_counted() {
             if let Some(u) = body.update_id() {
@@ -426,6 +430,28 @@ impl CoDbNode {
         self.report.count_sent(body.kind());
         let env = self.reliable.wrap(to, body);
         ctx.send(to.peer(), env);
+        self.arm_retransmit(ctx);
+    }
+
+    /// Lifts the rejoin barrier toward `peer` (any message from it proves
+    /// the peer is reachable again): re-sends every parked message in seq
+    /// order under the original seqs and re-arms retransmission. No-op
+    /// unless the peer was barred.
+    pub(crate) fn release_barrier(&mut self, ctx: &mut Context<Envelope>, peer: NodeId) {
+        if !self.reliable.is_barred(peer) {
+            return;
+        }
+        let released = self.reliable.release_peer(peer);
+        let count = released.len() as u64;
+        for (to, env) in released {
+            self.report.count_sent("barrier_released");
+            ctx.send(to.peer(), env);
+        }
+        self.tracer.emit_with(|| codb_trace::TraceEvent::BarrierRelease {
+            peer: self.id.0,
+            toward: peer.0,
+            released: count,
+        });
         self.arm_retransmit(ctx);
     }
 
@@ -444,7 +470,9 @@ impl CoDbNode {
     }
 
     pub(crate) fn arm_retransmit(&mut self, ctx: &mut Context<Envelope>) {
-        if !self.retransmit_armed && self.reliable.has_outstanding() {
+        // Parked (barrier-held) messages must not keep the timer alive:
+        // they wait for the peer's next incarnation, not the clock.
+        if !self.retransmit_armed && self.reliable.has_retransmittable() {
             self.retransmit_armed = true;
             ctx.set_timer(self.settings.retransmit_after, TIMER_RETRANSMIT);
         }
@@ -489,6 +517,12 @@ impl Peer<Envelope> for CoDbNode {
         let from = NodeId::from(from);
         self.report.count_received(env.body.kind());
 
+        // Any envelope from a barred peer proves it is reachable again
+        // (typically its new incarnation's Rejoin): release the parked
+        // traffic before dispatching, so held data and handshake messages
+        // flow the moment the peer is back.
+        self.release_barrier(ctx, from);
+
         // Transport ack: retire and done. Acks echo the epoch of the
         // envelope they acknowledge; an ack for a previous incarnation's
         // envelope must not retire a same-seq message of this incarnation
@@ -520,6 +554,7 @@ impl Peer<Envelope> for CoDbNode {
             // ---- crash rejoin (crate::rejoin) ----
             Body::Rejoin { epoch } => self.handle_rejoin(ctx, from, epoch),
             Body::RejoinAck { epoch } => self.handle_rejoin_ack(from, epoch),
+            Body::RejoinRepair { rule, firings } => self.handle_rejoin_repair(ctx, rule, firings),
             // ---- query protocol (crate::query) ----
             Body::QueryRequest { req, rule, path } => {
                 self.handle_query_request(ctx, from, req, rule, path)
@@ -550,17 +585,31 @@ impl Peer<Envelope> for CoDbNode {
         self.announce_rejoin(ctx);
         if timer == TIMER_RETRANSMIT {
             self.retransmit_armed = false;
-            let (resend, abandoned) = self.reliable.retransmission_round();
-            for (to, env) in resend {
+            let round = self.reliable.retransmission_round();
+            for (to, env) in round.resend {
                 self.report.count_sent("retransmit");
                 ctx.send(to.peer(), env);
             }
-            for o in abandoned {
-                // The peer is presumed crashed. Update messages it will
-                // never process cannot be DS-credited back: surrender the
-                // deficit so this node can still disengage (the update may
-                // complete without the dead peer's subtree — the documented
-                // crash semantics, DESIGN.md §3).
+            for (peer, held) in round.barred {
+                // The peer is presumed crashed mid-handshake: its update
+                // data and handshake traffic just parked behind the rejoin
+                // barrier. The DS deficit for parked messages is *held*,
+                // not surrendered — the update resumes (and completes)
+                // when the peer's new incarnation releases the barrier.
+                for _ in 0..held {
+                    self.report.count_sent("barrier_parked");
+                }
+                self.tracer.emit_with(|| codb_trace::TraceEvent::BarrierHold {
+                    peer: self.id.0,
+                    toward: peer.0,
+                    held,
+                });
+            }
+            for o in round.abandoned {
+                // Non-barrier traffic toward the presumed-dead peer is
+                // dropped for good. Any DS credit it carried cannot come
+                // back: surrender the deficit so this node can still
+                // disengage (DESIGN.md §3).
                 self.report.count_sent("abandoned");
                 if o.body.is_ds_counted() {
                     if let Some(u) = o.body.update_id() {

@@ -46,6 +46,10 @@ impl CoDbNode {
             return;
         }
         self.pending_rejoin = false;
+        // A fresh incarnation starts a fresh handshake: acks collected by
+        // a prior incarnation (a second restart in the same process) must
+        // not overstate this round's completion.
+        self.rejoin_acks.clear();
         let epoch = self.reliable.epoch();
         self.tracer.emit_with(|| TraceEvent::RejoinAnnounce { peer: self.id.0, epoch });
         for acq in self.book.acquaintances(self.id) {
@@ -58,7 +62,8 @@ impl CoDbNode {
     /// the announced epoch.
     pub(crate) fn handle_rejoin(&mut self, ctx: &mut Context<Envelope>, from: NodeId, epoch: u64) {
         let known = self.rejoin_epochs.get(&from).copied();
-        let invalidated = if known.is_none_or(|k| epoch > k) {
+        let fresh_incarnation = known.is_none_or(|k| epoch > k);
+        let invalidated = if fresh_incarnation {
             self.rejoin_epochs.insert(from, epoch);
             self.invalidate_sent_caches_toward(from)
         } else {
@@ -70,6 +75,120 @@ impl CoDbNode {
             invalidated: invalidated as u64,
         });
         self.post(ctx, from, Body::RejoinAck { epoch });
+        if fresh_incarnation {
+            // Barrier-release repair (window (a)): the crashed incarnation
+            // may have lost applied-but-unsynced records this node's
+            // sent-caches assumed it held. Don't wait for the next organic
+            // update — re-fire every link targeting the rejoined node over
+            // the full LDB right now. The caches toward it were just
+            // cleared, so this is one full re-send (the rejoined node's
+            // recovered receive caches suppress everything it still has),
+            // and it re-primes the incremental caches as a side effect.
+            self.send_rejoin_repair(ctx, from);
+        }
+    }
+
+    /// Re-fires every incoming link targeting `peer` over the full LDB and
+    /// ships the non-empty remainders as [`Body::RejoinRepair`].
+    fn send_rejoin_repair(&mut self, ctx: &mut Context<Envelope>, peer: NodeId) {
+        let toward: Vec<RuleName> = self
+            .book
+            .incoming
+            .iter()
+            .filter(|(_, r)| r.target == peer)
+            .map(|(name, _)| name.clone())
+            .collect();
+        for name in toward {
+            let glav = self.book.incoming[&name].rule.clone();
+            let firings = glav.fire(&self.ldb).expect("schema-validated rule");
+            self.post_repair(ctx, &name, peer, firings);
+        }
+    }
+
+    /// Handles a [`Body::RejoinRepair`] batch arriving on outgoing link
+    /// `rule`: the receive path of [`crate::update`]'s data flow minus the
+    /// per-update bookkeeping — cross-update template dedup, WAL logging,
+    /// apply, then a cascade of further repair toward links reading the
+    /// changed relations. The receiver-side caches bound the cascade: a
+    /// firing is applied (and forwarded) at most once per link, ever.
+    pub(crate) fn handle_rejoin_repair(
+        &mut self,
+        ctx: &mut Context<Envelope>,
+        rule: RuleName,
+        firings: Vec<codb_relational::RuleFiring>,
+    ) {
+        if !self.book.outgoing.contains_key(&rule) {
+            return; // stale rule name after a reconfiguration
+        }
+        let cache = self.recv_cache.entry(rule.clone()).or_default();
+        let fresh: Vec<codb_relational::RuleFiring> =
+            firings.into_iter().filter(|f| cache.insert(f.clone())).collect();
+        if fresh.is_empty() {
+            return;
+        }
+        if self.persist.is_some() {
+            self.log_wal(codb_store::WalRecord::Applied {
+                rule: rule.clone(),
+                firings: fresh.clone(),
+            });
+        }
+        let deltas = codb_relational::apply_firings(&mut self.ldb, &fresh, &mut self.nulls)
+            .expect("firings validated against schema");
+        let added: u64 = deltas.values().map(|v| v.len() as u64).sum();
+        if self.tracer.is_enabled() {
+            let r = self.tracer.intern(&rule);
+            self.tracer.emit(TraceEvent::UpdateApply { peer: self.id.0, rule: r, tuples: added });
+        }
+        if deltas.is_empty() {
+            return;
+        }
+        // Cascade: downstream nodes may also be missing data derived from
+        // what was just repaired (the crashed node forwarded some of it,
+        // but not necessarily all). Semi-naive delta evaluation, exactly
+        // like update propagation, but carried by repair messages.
+        let changed: BTreeSet<String> = deltas.keys().cloned().collect();
+        for name in self.book.incoming_reading(&changed) {
+            let link = &self.book.incoming[&name];
+            let target = link.target;
+            let glav = link.rule.clone();
+            let mut out: Vec<codb_relational::RuleFiring> = Vec::new();
+            for (rel, tuples) in &deltas {
+                if glav.body_relations().contains(rel.as_str()) {
+                    out.extend(
+                        glav.fire_delta(&self.ldb, rel, tuples).expect("schema-validated rule"),
+                    );
+                }
+            }
+            self.post_repair(ctx, &name, target, out);
+        }
+    }
+
+    /// Filters repair `firings` for link `name` through the incremental
+    /// sent-cache (when one is kept) and posts the remainder to `target`.
+    fn post_repair(
+        &mut self,
+        ctx: &mut Context<Envelope>,
+        name: &RuleName,
+        target: NodeId,
+        firings: Vec<codb_relational::RuleFiring>,
+    ) {
+        let fresh: Vec<codb_relational::RuleFiring> = if self.settings.incremental_updates {
+            let cache = self.sent_cache.entry((name.clone(), None)).or_default();
+            firings.into_iter().filter(|f| cache.insert(f.clone())).collect()
+        } else {
+            // Without sender-side caches the receiver's template dedup is
+            // the only (and sufficient) suppression.
+            firings
+        };
+        if fresh.is_empty() {
+            return;
+        }
+        self.tracer.emit_with(|| TraceEvent::RuleFire {
+            peer: self.id.0,
+            link: target.0,
+            firings: fresh.len() as u64,
+        });
+        self.post(ctx, target, Body::RejoinRepair { rule: name.clone(), firings: fresh });
     }
 
     /// Handles a `RejoinAck`: counts it only when it confirms *this*
@@ -203,13 +322,26 @@ mod tests {
         let mut ctx = Context::new(node.id.peer(), SimTime::ZERO, &ads);
 
         node.handle_rejoin(&mut ctx, spoke1, 1);
-        // Both key shapes toward spoke1 are gone; spoke2's cache stays.
-        assert!(node.sent_cache.keys().all(|(rule, _)| rule != "to1"));
-        assert!(node.sent_cache.contains_key(&("to2".to_owned(), None)));
-        // The handshake is acked, echoing the announced epoch.
+        // Both key shapes toward spoke1 were invalidated: the per-update
+        // key is gone, and the incremental key — re-primed by the repair
+        // push — no longer holds the stale firing. spoke2's cache stays.
+        assert!(!node.sent_cache.contains_key(&("to1".to_owned(), Some(u))));
+        assert!(!node.sent_cache[&("to1".to_owned(), None)].contains(&firing(7)));
+        assert!(node.sent_cache[&("to2".to_owned(), None)].contains(&firing(7)));
+        // The handshake is acked (echoing the announced epoch), and the
+        // link's full data is re-pushed immediately as repair — the
+        // rejoined node must not wait for the next organic update.
         let out = sends(&mut ctx);
-        assert_eq!(out.len(), 1);
+        assert_eq!(out.len(), 2);
         assert!(matches!(out[0], (p, Body::RejoinAck { epoch: 1 }) if p == spoke1.peer()));
+        match &out[1] {
+            (p, Body::RejoinRepair { rule, firings }) => {
+                assert_eq!(*p, spoke1.peer());
+                assert_eq!(rule, "to1");
+                assert_eq!(firings.len(), 2, "h(1) and h(2) both re-fired");
+            }
+            other => panic!("expected RejoinRepair, got {other:?}"),
+        }
         let _ = spoke2;
     }
 
@@ -278,8 +410,9 @@ mod tests {
 
         node.handle_rejoin(&mut ctx, spoke1, 2);
         assert!(
-            !node.sent_cache.contains_key(&("to1".to_owned(), None)),
-            "a genuinely newer incarnation invalidates again"
+            !node.sent_cache[&("to1".to_owned(), None)].contains(&firing(1)),
+            "a genuinely newer incarnation invalidates again (the repair push \
+             re-primes the cache with the link's real firings only)"
         );
         assert_eq!(node.rejoin_epochs[&spoke1], 2);
     }
@@ -318,5 +451,70 @@ mod tests {
         node.announce_rejoin(&mut ctx);
         assert!(sends(&mut ctx).is_empty());
         assert!(!node.rejoin_pending());
+    }
+
+    #[test]
+    fn announce_clears_acks_from_a_prior_incarnation() {
+        // Second restart in the same process: the ack set built by the
+        // previous incarnation's handshake must not carry over, or the
+        // new round would overstate its completion.
+        let (mut node, spoke1, _) = hub();
+        node.reliable.set_epoch(4);
+        node.rejoin_acks.insert(spoke1);
+        node.pending_rejoin = true;
+        let ads = ctx_ads();
+        let mut ctx = Context::new(node.id.peer(), SimTime::ZERO, &ads);
+        node.announce_rejoin(&mut ctx);
+        assert!(node.rejoin_acks().is_empty(), "stale acks cleared with the new round");
+        node.handle_rejoin_ack(spoke1, 4);
+        assert_eq!(node.rejoin_acks().len(), 1);
+    }
+
+    /// A repair firing writing `h(k)` — what a neighbor re-fires on the
+    /// hub's outgoing link `back` (`h(X) <- s1(X)`).
+    fn h_firing(k: i64) -> codb_relational::RuleFiring {
+        codb_relational::RuleFiring {
+            atoms: vec![(
+                "h".to_owned(),
+                vec![codb_relational::glav::TField::Const(codb_relational::Value::Int(k))],
+            )],
+        }
+    }
+
+    #[test]
+    fn repair_applies_dedups_and_cascades() {
+        let (mut node, spoke1, spoke2) = hub();
+        let ads = ctx_ads();
+        let mut ctx = Context::new(node.id.peer(), SimTime::ZERO, &ads);
+        let before = node.ldb().tuple_count();
+
+        // h(5) arrives as repair on the hub's outgoing link `back`.
+        node.handle_rejoin_repair(&mut ctx, "back".to_owned(), vec![h_firing(5)]);
+        assert_eq!(node.ldb().tuple_count(), before + 1, "h(5) applied");
+        // The change cascades: both links reading `h` re-fire their delta
+        // toward their targets, as further repair.
+        let out = sends(&mut ctx);
+        let repairs: Vec<_> = out
+            .iter()
+            .filter_map(|(to, b)| match b {
+                Body::RejoinRepair { rule, firings } => Some((*to, rule.clone(), firings.len())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            repairs,
+            vec![(spoke1.peer(), "to1".to_owned(), 1), (spoke2.peer(), "to2".to_owned(), 1),]
+        );
+
+        // A duplicate repair batch is fully suppressed by the receive
+        // cache: nothing applied, nothing cascaded — the termination
+        // argument for repair chains in cyclic topologies.
+        node.handle_rejoin_repair(&mut ctx, "back".to_owned(), vec![h_firing(5)]);
+        assert_eq!(node.ldb().tuple_count(), before + 1);
+        assert!(sends(&mut ctx).is_empty());
+
+        // A stale rule name (reconfiguration race) is ignored outright.
+        node.handle_rejoin_repair(&mut ctx, "no-such-link".to_owned(), vec![h_firing(6)]);
+        assert_eq!(node.ldb().tuple_count(), before + 1);
     }
 }

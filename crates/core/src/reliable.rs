@@ -34,6 +34,24 @@ pub struct Outstanding {
     pub body: Body,
     /// Retransmission attempts so far.
     pub attempts: u32,
+    /// Parked behind the rejoin barrier: the destination is presumed
+    /// crashed mid-handshake, so this message is held — not retransmitted,
+    /// not abandoned — until the peer is heard from again. A late ack can
+    /// still retire it.
+    pub parked: bool,
+}
+
+/// What one retransmission round decided.
+#[derive(Debug, Default)]
+pub struct RetransmissionRound {
+    /// Messages to resend under their original seqs.
+    pub resend: Vec<(NodeId, Envelope)>,
+    /// Messages dropped after exhausting `max_attempts` (DS credits must
+    /// be surrendered by the caller).
+    pub abandoned: Vec<Outstanding>,
+    /// Peers newly barred this round, with how many outstanding messages
+    /// were parked toward each.
+    pub barred: Vec<(NodeId, u64)>,
 }
 
 /// Per-node reliable-delivery state.
@@ -45,6 +63,15 @@ pub struct Reliable {
     /// retransmissions as stale.
     epoch: u64,
     outstanding: BTreeMap<u64, Outstanding>,
+    /// Peers behind the rejoin barrier: retransmission toward them
+    /// exhausted `max_attempts` on a message that must not be abandoned
+    /// ([`Body::parks_behind_barrier`]), so the peer is presumed crashed
+    /// and every such message parks until the peer is heard from again
+    /// ([`Reliable::release_peer`]). Later sends toward a barred peer go
+    /// out normally — they double as liveness probes (a silently healed
+    /// partition never announces itself with a handshake) — and join the
+    /// parked queue only if they exhaust their own budget.
+    barred: BTreeSet<NodeId>,
     /// Per-sender duplicate suppression: the sender's highest epoch seen
     /// and the seqs processed within it. A higher epoch (the sender was
     /// restarted from its store) resets the seq set; envelopes from lower
@@ -65,6 +92,7 @@ impl Reliable {
             next_seq: 0,
             epoch: 0,
             outstanding: BTreeMap::new(),
+            barred: BTreeSet::new(),
             seen: BTreeMap::new(),
             retransmit_after,
             max_attempts: 25,
@@ -88,7 +116,8 @@ impl Reliable {
     pub fn wrap(&mut self, to: NodeId, body: Body) -> Envelope {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.outstanding.insert(seq, Outstanding { to, body: body.clone(), attempts: 0 });
+        self.outstanding
+            .insert(seq, Outstanding { to, body: body.clone(), attempts: 0, parked: false });
         Envelope { seq: Some(seq), epoch: self.epoch, body }
     }
 
@@ -122,26 +151,84 @@ impl Reliable {
         }
     }
 
-    /// One retransmission round: bumps attempt counters, drops messages
-    /// that exhausted [`Reliable::max_attempts`] (returned separately so
-    /// the caller can account for them), and returns what to resend under
-    /// the original seqs.
-    pub fn retransmission_round(&mut self) -> (Vec<(NodeId, Envelope)>, Vec<Outstanding>) {
-        let mut resend = Vec::new();
-        let mut abandoned = Vec::new();
+    /// One retransmission round: bumps attempt counters and decides, per
+    /// message that exhausted [`Reliable::max_attempts`], between the two
+    /// give-up semantics. Ordinary traffic is abandoned (returned so the
+    /// caller can surrender DS credits). Traffic that must survive a
+    /// crashed peer's handshake ([`Body::parks_behind_barrier`]) instead
+    /// *bars* the peer: it and every other barrier-eligible message toward
+    /// that peer park until [`Reliable::release_peer`]. Parked messages
+    /// are skipped entirely — no attempts, no resend.
+    pub fn retransmission_round(&mut self) -> RetransmissionRound {
+        let mut round = RetransmissionRound::default();
+        let mut newly_barred: BTreeSet<NodeId> = BTreeSet::new();
         let max = self.max_attempts;
-        let epoch = self.epoch;
-        self.outstanding.retain(|seq, o| {
+        self.outstanding.retain(|_, o| {
+            if o.parked {
+                return true;
+            }
             o.attempts += 1;
             if o.attempts > max {
-                abandoned.push(o.clone());
-                false
+                if o.body.parks_behind_barrier() {
+                    newly_barred.insert(o.to);
+                    true // parked below, once the peer is barred
+                } else {
+                    round.abandoned.push(o.clone());
+                    false
+                }
             } else {
-                resend.push((o.to, Envelope { seq: Some(*seq), epoch, body: o.body.clone() }));
                 true
             }
         });
-        (resend, abandoned)
+        for peer in newly_barred {
+            self.barred.insert(peer);
+            let mut parked = 0u64;
+            for o in self.outstanding.values_mut() {
+                if o.to == peer && !o.parked && o.body.parks_behind_barrier() {
+                    o.parked = true;
+                    parked += 1;
+                }
+            }
+            round.barred.push((peer, parked));
+        }
+        let epoch = self.epoch;
+        round.resend = self
+            .outstanding
+            .iter()
+            .filter(|(_, o)| !o.parked)
+            .map(|(seq, o)| (o.to, Envelope { seq: Some(*seq), epoch, body: o.body.clone() }))
+            .collect();
+        round
+    }
+
+    /// True iff `peer` is behind the rejoin barrier.
+    pub fn is_barred(&self, peer: NodeId) -> bool {
+        self.barred.contains(&peer)
+    }
+
+    /// Messages currently parked toward `peer`.
+    pub fn parked_toward(&self, peer: NodeId) -> usize {
+        self.outstanding.values().filter(|o| o.parked && o.to == peer).count()
+    }
+
+    /// Lifts the barrier toward `peer` (it has been heard from again):
+    /// returns every parked message, in seq order under the original seqs,
+    /// with attempt counters reset so delivery gets a full retransmission
+    /// budget. Returns an empty vec when the peer was not barred.
+    pub fn release_peer(&mut self, peer: NodeId) -> Vec<(NodeId, Envelope)> {
+        if !self.barred.remove(&peer) {
+            return Vec::new();
+        }
+        let epoch = self.epoch;
+        self.outstanding
+            .iter_mut()
+            .filter(|(_, o)| o.parked && o.to == peer)
+            .map(|(seq, o)| {
+                o.parked = false;
+                o.attempts = 0;
+                (o.to, Envelope { seq: Some(*seq), epoch, body: o.body.clone() })
+            })
+            .collect()
     }
 
     /// All messages currently awaiting acknowledgement, re-wrapped under
@@ -155,16 +242,27 @@ impl Reliable {
             .collect()
     }
 
-    /// True iff any message awaits acknowledgement.
+    /// True iff any message awaits acknowledgement (parked or not).
     pub fn has_outstanding(&self) -> bool {
         !self.outstanding.is_empty()
     }
 
+    /// True iff any *unparked* message awaits acknowledgement — the
+    /// retransmit timer's arming condition. Parked messages must not keep
+    /// the timer alive: they wait for the peer's next incarnation, not for
+    /// the clock, and an idle network with only parked traffic must be
+    /// able to quiesce.
+    pub fn has_retransmittable(&self) -> bool {
+        self.outstanding.values().any(|o| !o.parked)
+    }
+
     /// Drops outstanding messages addressed to `node` (it left the
-    /// network); returns how many were dropped.
+    /// network permanently — reconfiguration, not a crash) and lifts any
+    /// barrier toward it; returns how many messages were dropped.
     pub fn forget_peer(&mut self, node: NodeId) -> usize {
         let before = self.outstanding.len();
         self.outstanding.retain(|_, o| o.to != node);
+        self.barred.remove(&node);
         before - self.outstanding.len()
     }
 }
@@ -243,8 +341,8 @@ mod tests {
         r.set_epoch(7);
         let e = r.wrap(NodeId(1), body());
         assert_eq!(e.epoch, 7);
-        let (resend, _) = r.retransmission_round();
-        assert_eq!(resend[0].1.epoch, 7);
+        let round = r.retransmission_round();
+        assert_eq!(round.resend[0].1.epoch, 7);
     }
 
     #[test]
@@ -267,5 +365,113 @@ mod tests {
         r.wrap(NodeId(1), body());
         assert_eq!(r.forget_peer(NodeId(1)), 2);
         assert_eq!(r.pending().len(), 1);
+    }
+
+    /// Drives `r` through enough rounds to exhaust `max_attempts`,
+    /// returning the final round (the one where give-up decisions fall).
+    fn exhaust(r: &mut Reliable) -> RetransmissionRound {
+        for _ in 0..r.max_attempts {
+            r.retransmission_round();
+        }
+        r.retransmission_round()
+    }
+
+    #[test]
+    fn exhausted_rejoin_parks_instead_of_abandoning() {
+        // Window (b) of the rejoin barrier: a handshake envelope toward a
+        // still-dead peer must never be abandoned — back-to-back restarts
+        // would strand the handshake forever.
+        let mut r = Reliable::new(SimTime::from_millis(10));
+        let e = r.wrap(NodeId(1), Body::Rejoin { epoch: 3 });
+        let round = exhaust(&mut r);
+        assert!(round.abandoned.is_empty(), "handshake traffic must not be abandoned");
+        assert_eq!(round.barred, vec![(NodeId(1), 1)]);
+        assert!(r.is_barred(NodeId(1)));
+        assert_eq!(r.parked_toward(NodeId(1)), 1);
+        // Parked: the message survives, but no longer retransmits and no
+        // longer arms the timer — a sim with only parked traffic quiesces.
+        assert!(r.has_outstanding());
+        assert!(!r.has_retransmittable());
+        assert!(r.retransmission_round().resend.is_empty());
+        // The peer comes back: the envelope flows again under its original
+        // seq with a full retransmission budget.
+        let released = r.release_peer(NodeId(1));
+        assert_eq!(released.len(), 1);
+        assert_eq!(released[0].1.seq, e.seq);
+        assert!(!r.is_barred(NodeId(1)));
+        assert!(r.has_retransmittable());
+        // A late ack still retires it.
+        assert!(r.on_ack(e.seq.unwrap()));
+    }
+
+    #[test]
+    fn exhausted_ordinary_traffic_still_abandons() {
+        let mut r = Reliable::new(SimTime::from_millis(10));
+        r.wrap(NodeId(1), Body::StatsRequest);
+        let round = exhaust(&mut r);
+        assert_eq!(round.abandoned.len(), 1);
+        assert!(round.barred.is_empty());
+        assert!(!r.is_barred(NodeId(1)));
+        assert!(!r.has_outstanding());
+    }
+
+    #[test]
+    fn barring_parks_all_eligible_toward_that_peer_only() {
+        let mut r = Reliable::new(SimTime::from_millis(10));
+        let a = r.wrap(NodeId(1), Body::Rejoin { epoch: 1 });
+        r.wrap(NodeId(1), Body::StatsRequest); // ordinary: still abandons
+        let b = r.wrap(NodeId(1), Body::RejoinAck { epoch: 1 });
+        r.wrap(NodeId(2), Body::StatsRequest); // other peer: untouched
+        let round = exhaust(&mut r);
+        assert_eq!(round.barred, vec![(NodeId(1), 2)]);
+        assert_eq!(round.abandoned.len(), 2, "stats toward both peers abandoned");
+        assert!(r.is_barred(NodeId(1)));
+        assert!(!r.is_barred(NodeId(2)));
+        // Release re-sends in seq order under the original seqs.
+        let released = r.release_peer(NodeId(1));
+        let seqs: Vec<_> = released.iter().map(|(_, e)| e.seq).collect();
+        assert_eq!(seqs, vec![a.seq, b.seq]);
+    }
+
+    #[test]
+    fn late_traffic_toward_a_barred_peer_probes_then_joins_the_queue() {
+        let mut r = Reliable::new(SimTime::from_millis(10));
+        let first = r.wrap(NodeId(1), Body::Rejoin { epoch: 1 });
+        exhaust(&mut r);
+        assert!(r.is_barred(NodeId(1)));
+        // New traffic toward the barred peer is still sent — it doubles as
+        // a liveness probe (a healed partition never sends a handshake, so
+        // holding everything would deadlock) — and gets a full
+        // retransmission budget of its own.
+        let late = r.wrap(NodeId(1), Body::RejoinAck { epoch: 1 });
+        assert_eq!(r.parked_toward(NodeId(1)), 1);
+        assert!(r.has_retransmittable());
+        // If the peer really is still gone, the probe exhausts too and
+        // joins the parked queue behind the earlier message.
+        let round = exhaust(&mut r);
+        assert_eq!(round.barred, vec![(NodeId(1), 1)], "already-barred peer, one more parked");
+        assert_eq!(r.parked_toward(NodeId(1)), 2);
+        assert!(!r.has_retransmittable());
+        let released = r.release_peer(NodeId(1));
+        let seqs: Vec<_> = released.iter().map(|(_, e)| e.seq).collect();
+        assert_eq!(seqs, vec![first.seq, late.seq]);
+    }
+
+    #[test]
+    fn releasing_an_unbarred_peer_is_a_noop() {
+        let mut r = Reliable::new(SimTime::from_millis(10));
+        r.wrap(NodeId(1), body());
+        assert!(r.release_peer(NodeId(1)).is_empty());
+        assert!(r.has_retransmittable(), "unparked traffic untouched");
+    }
+
+    #[test]
+    fn forget_peer_lifts_the_barrier() {
+        let mut r = Reliable::new(SimTime::from_millis(10));
+        r.wrap(NodeId(1), Body::Rejoin { epoch: 1 });
+        exhaust(&mut r);
+        assert!(r.is_barred(NodeId(1)));
+        assert_eq!(r.forget_peer(NodeId(1)), 1);
+        assert!(!r.is_barred(NodeId(1)));
     }
 }

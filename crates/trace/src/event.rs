@@ -30,12 +30,14 @@ const TAG_WAL_APPEND: u8 = 14;
 const TAG_FSYNC: u8 = 15;
 const TAG_GROUP_DRAIN: u8 = 16;
 const TAG_CHECKPOINT: u8 = 17;
+const TAG_BARRIER_HOLD: u8 = 18;
+const TAG_BARRIER_RELEASE: u8 = 19;
 
 /// One recorded occurrence, from any layer of the stack.
 ///
 /// The variants mirror the three instrumented layers: `Net*` from the
-/// discrete-event simulator, `UpdateApply`/`RuleFire`/`Ds*`/`Rejoin*`
-/// from the coDB node protocol, and `WalAppend`/`Fsync`/`GroupDrain`/
+/// discrete-event simulator, `UpdateApply`/`RuleFire`/`Ds*`/`Rejoin*`/
+/// `Barrier*` from the coDB node protocol, and `WalAppend`/`Fsync`/`GroupDrain`/
 /// `Checkpoint` from the storage engine. `Intern` and the two `Phase*`
 /// markers belong to the trace itself.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -186,6 +188,27 @@ pub enum TraceEvent {
         /// The new generation number.
         generation: u64,
     },
+    /// A node parked messages behind the rejoin barrier: retransmission
+    /// toward a peer exhausted its budget on traffic that must survive
+    /// the peer's crash, so the traffic is held for its next incarnation.
+    BarrierHold {
+        /// The holding node (peer id).
+        peer: u64,
+        /// The presumed-crashed peer the traffic is held for (peer id).
+        toward: u64,
+        /// Messages parked by this event.
+        held: u64,
+    },
+    /// A node lifted the rejoin barrier: the barred peer was heard from
+    /// again and the parked messages were re-sent in order.
+    BarrierRelease {
+        /// The releasing node (peer id).
+        peer: u64,
+        /// The peer that came back (peer id).
+        toward: u64,
+        /// Messages released by this event.
+        released: u64,
+    },
 }
 
 impl TraceEvent {
@@ -210,6 +233,8 @@ impl TraceEvent {
             TraceEvent::Fsync { .. } => "Fsync",
             TraceEvent::GroupDrain { .. } => "GroupDrain",
             TraceEvent::Checkpoint { .. } => "Checkpoint",
+            TraceEvent::BarrierHold { .. } => "BarrierHold",
+            TraceEvent::BarrierRelease { .. } => "BarrierRelease",
         }
     }
 }
@@ -318,6 +343,18 @@ pub fn put_event(out: &mut Vec<u8>, ev: &TraceEvent) {
             put_u32(out, *store);
             put_u64(out, *generation);
         }
+        TraceEvent::BarrierHold { peer, toward, held } => {
+            out.push(TAG_BARRIER_HOLD);
+            put_u64(out, *peer);
+            put_u64(out, *toward);
+            put_u64(out, *held);
+        }
+        TraceEvent::BarrierRelease { peer, toward, released } => {
+            out.push(TAG_BARRIER_RELEASE);
+            put_u64(out, *peer);
+            put_u64(out, *toward);
+            put_u64(out, *released);
+        }
     }
 }
 
@@ -357,6 +394,12 @@ pub fn take_event(r: &mut Reader<'_>) -> Result<TraceEvent, BinDecodeError> {
             Ok(TraceEvent::GroupDrain { stores: r.u64()?, records: r.u64()?, fsyncs: r.u64()? })
         }
         TAG_CHECKPOINT => Ok(TraceEvent::Checkpoint { store: r.u32()?, generation: r.u64()? }),
+        TAG_BARRIER_HOLD => {
+            Ok(TraceEvent::BarrierHold { peer: r.u64()?, toward: r.u64()?, held: r.u64()? })
+        }
+        TAG_BARRIER_RELEASE => {
+            Ok(TraceEvent::BarrierRelease { peer: r.u64()?, toward: r.u64()?, released: r.u64()? })
+        }
         t => Err(BinDecodeError { offset: at, detail: format!("unknown trace-event tag {t}") }),
     }
 }
@@ -385,6 +428,8 @@ mod tests {
             TraceEvent::Fsync { store: 1, nanos: 48_000 },
             TraceEvent::GroupDrain { stores: 4, records: 256, fsyncs: 4 },
             TraceEvent::Checkpoint { store: 1, generation: 2 },
+            TraceEvent::BarrierHold { peer: 4, toward: 5, held: 3 },
+            TraceEvent::BarrierRelease { peer: 4, toward: 5, released: 3 },
         ]
     }
 

@@ -187,6 +187,12 @@ pub fn render_event(ev: &TraceEvent, strings: &HashMap<u32, String>) -> String {
         TraceEvent::Checkpoint { store, generation } => {
             format!("ckpt    {} -> generation {generation}", s(store))
         }
+        TraceEvent::BarrierHold { peer, toward, held } => {
+            format!("barrier peer {peer} holds {held} msgs for {toward}")
+        }
+        TraceEvent::BarrierRelease { peer, toward, released } => {
+            format!("barrier peer {peer} releases {released} msgs to {toward}")
+        }
     }
 }
 

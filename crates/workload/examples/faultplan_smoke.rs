@@ -12,15 +12,71 @@
 //!
 //! Usage: `cargo run -p codb-workload --example faultplan_smoke [seed...]`
 //! (defaults to seeds 1, 2, 3 over a chain, a ring and a star).
+//!
+//! With `--trace FILE` as the first two arguments, the run instead
+//! executes one fixed-seed **overlapping-rejoin** schedule — a node
+//! crashes mid-update, survivors park their traffic behind the rejoin
+//! barrier, and the node restarts mid-way through the *next* update so
+//! barrier release and `RejoinRepair` interleave with live traffic —
+//! with a flight recorder attached, writing the postmortem to FILE for
+//! `codb-demo trace inspect` (the CI rejoin-barrier smoke step).
 
 use codb_store::ScratchDir;
-use codb_workload::{run_fault_plan_differential, FaultPlan, RuleStyle, Scenario, Topology};
+use codb_workload::{
+    run_fault_plan_differential, run_fault_plan_traced, FaultPlan, RuleStyle, Scenario, Topology,
+};
+
+/// The traced rejoin-barrier run: one overlapping-rejoin schedule on a
+/// chain, recorded end to end. Fails loudly unless the barrier actually
+/// engaged (held and released) and the network reconverged.
+fn traced_run(path: &str) -> ! {
+    let scenario = Scenario { tuples_per_node: 10, ..Scenario::quick(Topology::Chain(4)) };
+    // Seed 13 is pinned because its schedule provably exercises the whole
+    // machinery on this chain: the crash lands while survivor traffic is
+    // still in flight (messages park and release) and the victim has
+    // incoming links (survivors push `RejoinRepair`).
+    let plan = FaultPlan::overlapping_rejoin(scenario, 13);
+    let tmp = ScratchDir::new("faultplan-smoke-trace");
+    let (tracer, recorder) =
+        codb_trace::Tracer::to_file(path).expect("trace file path is writable");
+    let report = run_fault_plan_traced(&plan, tmp.path(), &tracer).expect("store i/o on scratch");
+    tracer.flush().expect("trace flushes");
+    drop(tracer);
+    drop(recorder);
+    println!(
+        "traced overlapping rejoin: seed {} crashes={} live_restarts={} barrier_parked={} \
+         barrier_released={} repairs={} converged={} -> {path}",
+        report.seed,
+        report.crashes,
+        report.live_restarts,
+        report.barrier_parked,
+        report.barrier_released,
+        report.repair_messages,
+        report.converged,
+    );
+    let ok = report.converged
+        && report.crashes == 1
+        && report.live_restarts == 1
+        && report.barrier_parked > 0
+        && report.barrier_released > 0;
+    if !ok {
+        eprintln!("FAILED: the traced schedule must engage the barrier and reconverge");
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
 
 fn main() {
-    let seeds: Vec<u64> = std::env::args()
-        .skip(1)
-        .map(|a| a.parse().unwrap_or_else(|_| panic!("not a seed: {a:?}")))
-        .collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--trace") {
+        if args.len() != 2 {
+            eprintln!("usage: faultplan_smoke --trace FILE");
+            std::process::exit(2);
+        }
+        traced_run(&args.remove(1));
+    }
+    let seeds: Vec<u64> =
+        args.iter().map(|a| a.parse().unwrap_or_else(|_| panic!("not a seed: {a:?}"))).collect();
     let seeds = if seeds.is_empty() { vec![1, 2, 3] } else { seeds };
     let scenarios = [
         Scenario { tuples_per_node: 10, ..Scenario::quick(Topology::Chain(4)) },

@@ -10,15 +10,21 @@
 //! 2. The experiment network attaches a [`codb_store::Store`] to the
 //!    victim, starts the same update, is killed after a fixed number of
 //!    simulator events (dropping all in-memory state), and the survivors
-//!    run to quiescence — the update completes without the victim (the
-//!    documented crash semantics).
+//!    run to quiescence — update traffic toward the victim exhausts its
+//!    retransmission budget and **parks behind the rejoin barrier**
+//!    (`codb_core::reliable`): held, not abandoned, with the
+//!    Dijkstra–Scholten deficits it represents, so the doomed update
+//!    pauses instead of completing without the victim.
 //! 3. The victim is restarted from disk (snapshot + WAL-tail replay,
 //!    protocol counters included) and rejoins as a **first-class peer**:
 //!    its `Rejoin` announcement makes every neighbor invalidate the
-//!    incremental sent-caches pointed at it (`codb_core::rejoin`), and a
+//!    incremental sent-caches pointed at it (`codb_core::rejoin`),
+//!    release the parked messages in order, and push a `RejoinRepair`
+//!    re-send of every link toward it — the paused update now completes
+//!    and the victim's lost records are restored *at the handshake*. A
 //!    follow-up update — initiated by the *recovered node itself* when
-//!    [`CrashRestartPlan::recovered_initiates`] is set — reconverges the
-//!    network.
+//!    [`CrashRestartPlan::recovered_initiates`] is set — then reconverges
+//!    the network.
 //! 4. States are compared: strict instance equality, null-factory counter
 //!    equality, and instance isomorphism (equality up to renaming of
 //!    marked nulls — the right notion when GLAV rules invent nulls, whose
@@ -109,6 +115,16 @@ pub struct CrashRestartReport {
     /// `Rejoin` + `RejoinAck` messages exchanged during the restart (the
     /// handshake half of the rejoin cost).
     pub rejoin_messages: u64,
+    /// Messages survivors parked behind the rejoin barrier while the
+    /// victim was down (held instead of abandoned).
+    pub barrier_parked: u64,
+    /// Parked messages released (re-sent in order) when the victim's new
+    /// incarnation was heard from.
+    pub barrier_released: u64,
+    /// `RejoinRepair` batches pushed at the handshake — the re-send that
+    /// restores the victim's lost records at barrier release rather than
+    /// at the next organic update.
+    pub repair_messages: u64,
     /// Protocol messages of the post-restart reconvergence update in the
     /// experiment network (includes the fallback full re-send toward the
     /// rejoined node).
@@ -151,6 +167,14 @@ impl CrashRestartReport {
         self.rejoin_messages
             + self.reconverge_messages.saturating_sub(self.control_reconverge_messages)
     }
+
+    /// The barrier's share of the rejoin cost in messages: parked traffic
+    /// re-sent at release plus the `RejoinRepair` push (the E17 "barrier
+    /// cost" column). These messages replace the pre-barrier abandonments
+    /// and the extra reconvergence round they used to force.
+    pub fn barrier_cost_messages(&self) -> u64 {
+        self.barrier_released + self.repair_messages
+    }
 }
 
 fn settings(plan: &CrashRestartPlan) -> NodeSettings {
@@ -169,6 +193,22 @@ pub(crate) fn rejoin_messages(net: &CoDbNetwork) -> u64 {
 pub(crate) fn node_rejoin_messages(report: &codb_core::NodeReport) -> u64 {
     report.messages_sent.get("rejoin").copied().unwrap_or(0)
         + report.messages_sent.get("rejoin_ack").copied().unwrap_or(0)
+}
+
+/// Rejoin-barrier counters in one node's report: messages parked behind
+/// the barrier, parked messages released, and `RejoinRepair` batches sent.
+pub(crate) fn node_barrier_counters(report: &codb_core::NodeReport) -> (u64, u64, u64) {
+    let get = |key: &str| report.messages_sent.get(key).copied().unwrap_or(0);
+    (get("barrier_parked"), get("barrier_released"), get("rejoin_repair"))
+}
+
+/// Whole-network sums of [`node_barrier_counters`] (live nodes only; on
+/// multi-crash schedules the caller banks victims before killing them).
+pub(crate) fn barrier_counters(net: &CoDbNetwork) -> (u64, u64, u64) {
+    net.network_report().nodes.values().fold((0, 0, 0), |acc, r| {
+        let (parked, released, repairs) = node_barrier_counters(r);
+        (acc.0 + parked, acc.1 + released, acc.2 + repairs)
+    })
 }
 
 /// Runs the crash/restart scenario of `plan`, persisting the victim under
@@ -227,6 +267,7 @@ pub fn run_crash_restart(
     let recovery = net.restart_node_from_disk(plan.victim, &dir, plan.sync, plan.codec)?;
     let victim_tuples_at_recovery = net.node(plan.victim).ldb().tuple_count();
     let rejoin_msgs = rejoin_messages(&net);
+    let (barrier_parked, barrier_released, repair_messages) = barrier_counters(&net);
     // Reconverge — initiated by the recovered node itself when the plan
     // says so (rejoin-as-initiator: the id space must resume, not clash).
     let reconverge = net.run_update(reconverge_origin);
@@ -249,6 +290,9 @@ pub fn run_crash_restart(
         torn_tail: recovery.torn_tail,
         victim_epoch: recovery.epoch,
         rejoin_messages: rejoin_msgs,
+        barrier_parked,
+        barrier_released,
+        repair_messages,
         reconverge_messages: reconverge.messages,
         control_reconverge_messages: control_second.messages,
         reconverge_origin,
@@ -281,6 +325,12 @@ mod tests {
         assert!(report.wal_records_replayed >= 1, "{report:?}");
         assert!(report.rejoin_messages >= 2, "handshake ran: {report:?}");
         assert_eq!(report.victim_epoch, 1, "{report:?}");
+        // The handshake pushed a repair toward the recovered victim (the
+        // kill may land after in-flight traffic toward it was already
+        // acked, so parked counts can legitimately be zero — the repair
+        // push always runs).
+        assert!(report.repair_messages > 0, "{report:?}");
+        assert!(report.barrier_cost_messages() > 0, "{report:?}");
     }
 
     #[test]

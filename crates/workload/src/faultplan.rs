@@ -12,10 +12,16 @@
 //! * the **experiment** network runs it with per-pipe message loss, nodes
 //!   crashing mid-round (their in-memory state dropped on the floor),
 //!   stores checkpointing (snapshot + WAL compaction) at arbitrary
-//!   points, and every crashed node restarted from disk between rounds —
-//!   which triggers the crash-rejoin handshake (`codb_core::rejoin`) and,
-//!   when the generator picks the freshly rejoined node as the next
-//!   initiator, the rejoin-as-initiator path.
+//!   points, and every crashed node restarted from disk — between rounds
+//!   by default, or **mid-round** via a scheduled [`FaultKind::Restart`]
+//!   — which triggers the crash-rejoin handshake (`codb_core::rejoin`):
+//!   survivors release the update traffic they parked behind the rejoin
+//!   barrier while the node was down, push a `RejoinRepair` re-send of
+//!   every link toward it, and, when the generator picks the freshly
+//!   rejoined node as the next initiator, the rejoin-as-initiator path
+//!   runs too. The [`FaultPlan::overlapping_rejoin`] and
+//!   [`FaultPlan::rolling_restart`] constructors build schedules where
+//!   all of that interleaves with live update traffic.
 //!
 //! The harness then asserts *reconvergence*: every experiment node's LDB
 //! must match its control counterpart — strictly for rule styles without
@@ -47,8 +53,17 @@ use std::path::Path;
 pub enum FaultKind {
     /// Kill the node: all in-memory state (protocol caches, counters,
     /// store handle) is dropped; the durable directory survives. The node
-    /// is restarted from disk at the end of the round.
+    /// is restarted from disk at the end of the round — unless a
+    /// [`FaultKind::Restart`] for it is scheduled later in the plan, in
+    /// which case it stays down until that fault fires.
     Crash,
+    /// Restart a previously crashed node from its data directory
+    /// **mid-round** (no drain): its rejoin handshake — and the barrier
+    /// release plus `RejoinRepair` push it triggers at every survivor —
+    /// interleaves with the round's live update traffic instead of
+    /// running in an idle network. A `Restart` for a node that is up (or
+    /// never went down) is a no-op.
+    Restart,
     /// Checkpoint the node's store: snapshot, WAL rotation, compaction.
     Checkpoint,
     /// Kill **every live node at once** — the single-host power-loss
@@ -199,6 +214,127 @@ impl FaultPlan {
         }
     }
 
+    /// The overlapping-rejoin schedule: round 1 crashes a non-initiator
+    /// node mid-update and **leaves it down** — survivors' update traffic
+    /// toward it exhausts retransmission and parks behind the rejoin
+    /// barrier, pausing the update with its Dijkstra–Scholten deficits
+    /// held. Round 2 starts a fresh update and restarts the victim
+    /// *mid-round* ([`FaultKind::Restart`]), so the barrier release, the
+    /// `RejoinRepair` push and the resumed round-1 update all interleave
+    /// with live round-2 traffic. A fault-free final round then pins
+    /// reconvergence to the never-crashed control.
+    pub fn overlapping_rejoin(scenario: Scenario, seed: u64) -> FaultPlan {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x0E4A_B17A);
+        let nodes = scenario.topology.node_count() as u64;
+        let sink = scenario.sink();
+        let mut victim = NodeId(rng.gen_range(0..nodes));
+        if victim == sink {
+            victim = NodeId((victim.0 + 1) % nodes);
+        }
+        FaultPlan {
+            scenario,
+            seed,
+            loss: if rng.gen_bool(0.5) { 0.0 } else { 0.05 },
+            sync: SyncPolicy::Always,
+            codec: Codec::Binary,
+            lose_unsynced_tail: false,
+            rounds: vec![
+                Round {
+                    initiator: sink,
+                    faults: vec![Fault {
+                        at_event: rng.gen_range(1u64..60),
+                        node: victim,
+                        kind: FaultKind::Crash,
+                    }],
+                },
+                Round {
+                    initiator: sink,
+                    faults: vec![Fault {
+                        at_event: rng.gen_range(1u64..60),
+                        node: victim,
+                        kind: FaultKind::Restart,
+                    }],
+                },
+                Round { initiator: sink, faults: vec![] },
+            ],
+        }
+    }
+
+    /// The rolling-restart-under-sustained-load schedule (window (b) of
+    /// the rejoin barrier), under a shared group-commit scheduler with
+    /// unsynced WAL tails lost at every crash: two adjacent nodes `v` and
+    /// `w` go down staggered — `v` crashes in round 1; round 2 crashes
+    /// `w` and then restarts `v` **mid-round**, so `v`'s `Rejoin`
+    /// handshake toward the still-dead `w` exhausts retransmission and
+    /// parks instead of being abandoned; round 3 restarts `w` mid-round,
+    /// whose own announcement releases the parked handshake and completes
+    /// both rejoins under live traffic. Every round carries an update
+    /// (sustained load) and a clean final round pins reconvergence.
+    ///
+    /// Requires a topology of at least three nodes.
+    pub fn rolling_restart(scenario: Scenario, seed: u64) -> FaultPlan {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x2011_1E57);
+        let nodes = scenario.topology.node_count() as u64;
+        assert!(nodes >= 3, "rolling restart needs at least 3 nodes");
+        let sink = scenario.sink();
+        // Two adjacent-id victims, neither of them the initiator (ids are
+        // adjacent in every generated topology's edge layout for chains;
+        // elsewhere adjacency is not required for the window — only that
+        // v's rejoin set includes w, which holds whenever they share a
+        // rule).
+        let mut v = rng.gen_range(0..nodes);
+        let (v, w) = loop {
+            let w = (v + 1) % nodes;
+            if NodeId(v) != sink && NodeId(w) != sink {
+                break (NodeId(v), NodeId(w));
+            }
+            v = (v + 1) % nodes;
+        };
+        let sync = SyncPolicy::GroupCommit { max_batch: nodes, max_records: 8 * nodes };
+        FaultPlan {
+            scenario,
+            seed,
+            loss: 0.0,
+            sync,
+            codec: Codec::Binary,
+            lose_unsynced_tail: true,
+            rounds: vec![
+                Round {
+                    initiator: sink,
+                    faults: vec![Fault {
+                        at_event: rng.gen_range(1u64..40),
+                        node: v,
+                        kind: FaultKind::Crash,
+                    }],
+                },
+                Round {
+                    initiator: sink,
+                    faults: vec![
+                        Fault {
+                            at_event: rng.gen_range(1u64..20),
+                            node: w,
+                            kind: FaultKind::Crash,
+                        },
+                        Fault {
+                            at_event: rng.gen_range(25u64..60),
+                            node: v,
+                            kind: FaultKind::Restart,
+                        },
+                    ],
+                },
+                Round {
+                    initiator: sink,
+                    faults: vec![Fault {
+                        at_event: rng.gen_range(1u64..40),
+                        node: w,
+                        kind: FaultKind::Restart,
+                    }],
+                },
+                Round { initiator: sink, faults: vec![] },
+            ],
+        }
+    }
+
     /// Total crash faults in the schedule (a host crash counts once).
     pub fn crash_count(&self) -> usize {
         self.rounds
@@ -216,12 +352,26 @@ pub struct FaultPlanReport {
     pub seed: u64,
     /// Update rounds executed.
     pub rounds: usize,
-    /// Crashes injected (== restarts performed).
+    /// Crashes injected (every one eventually restarted — mid-round or at
+    /// its round's end).
     pub crashes: usize,
+    /// Mid-round restarts performed (scheduled [`FaultKind::Restart`]
+    /// faults that found their node down).
+    pub live_restarts: usize,
     /// Checkpoints taken (scheduled ones that found their node alive).
     pub checkpoints: u64,
     /// `Rejoin` + `RejoinAck` messages across the whole run.
     pub rejoin_messages: u64,
+    /// Messages parked behind the rejoin barrier across the whole run
+    /// (survivor-side holds instead of abandonments).
+    pub barrier_parked: u64,
+    /// Parked messages released (re-sent in seq order) when their barred
+    /// peer was heard from again.
+    pub barrier_released: u64,
+    /// `RejoinRepair` batches sent — the push that restores a rejoined
+    /// node's lost records at barrier release rather than at the next
+    /// organic update.
+    pub repair_messages: u64,
     /// Nodes whose final LDB equals the control's strictly.
     pub nodes_equal: usize,
     /// Nodes whose final LDB is isomorphic to the control's (equality up
@@ -263,22 +413,37 @@ struct AckedWatermark {
     wal_path: std::path::PathBuf,
 }
 
-/// Kills `id` if it is alive, banking its rejoin-message counts. With
-/// `lose_tail`, first captures the store's durable watermark and — once
-/// the store handle is gone — chops the live WAL to a seeded point at or
-/// past it: the unsynced tail a power cut would take with it (the cut
-/// may land mid-frame; recovery truncates the torn remainder). Returns
-/// `Some(watermark)` when the node was alive and killed (`Some(None)`
-/// when no tail loss was requested or no store was attached).
+/// Message counters banked from victims before their in-memory reports
+/// are wiped by a kill (summed with the live nodes' counts at the end).
+#[derive(Default)]
+struct BankedCounters {
+    rejoin: u64,
+    barrier_parked: u64,
+    barrier_released: u64,
+    repairs: u64,
+}
+
+/// Kills `id` if it is alive, banking its rejoin and barrier counters.
+/// With `lose_tail`, first captures the store's durable watermark and —
+/// once the store handle is gone — chops the live WAL to a seeded point
+/// at or past it: the unsynced tail a power cut would take with it (the
+/// cut may land mid-frame; recovery truncates the torn remainder).
+/// Returns `Some(watermark)` when the node was alive and killed
+/// (`Some(None)` when no tail loss was requested or no store was
+/// attached).
 fn kill_node(
     net: &mut CoDbNetwork,
     id: NodeId,
     lose_tail: bool,
     rng: &mut SmallRng,
-    rejoin_banked: &mut u64,
+    banked: &mut BankedCounters,
 ) -> Option<Option<AckedWatermark>> {
     let node = net.sim().peer(id.peer())?;
-    *rejoin_banked += crate::crash::node_rejoin_messages(node.report());
+    banked.rejoin += crate::crash::node_rejoin_messages(node.report());
+    let (parked, released, repairs) = crate::crash::node_barrier_counters(node.report());
+    banked.barrier_parked += parked;
+    banked.barrier_released += released;
+    banked.repairs += repairs;
     let watermark = if lose_tail {
         node.store().map(|store| AckedWatermark {
             generation: store.generation(),
@@ -311,13 +476,58 @@ fn kill_node(
     Some(watermark)
 }
 
+/// Restarts `victim` from its data directory — live (mid-round, no
+/// drain) or drained — and folds the no-acked-loss check for its banked
+/// watermark into the running verdict.
+#[allow(clippy::too_many_arguments)]
+fn restart_victim(
+    net: &mut CoDbNetwork,
+    config: &codb_core::NetworkConfig,
+    plan: &FaultPlan,
+    data_root: &Path,
+    victim: NodeId,
+    watermark: Option<AckedWatermark>,
+    live: bool,
+    acked_records_checked: &mut u64,
+    acked_records_preserved: &mut bool,
+) -> Result<(), codb_store::StoreError> {
+    let name = &config.nodes.iter().find(|n| n.id == victim).expect("configured").name;
+    let dir = CoDbNetwork::node_data_dir(data_root, name);
+    let stats = if live {
+        net.restart_node_from_disk_live(victim, &dir, plan.sync, plan.codec)?
+    } else {
+        net.restart_node_from_disk(victim, &dir, plan.sync, plan.codec)?
+    };
+    if let Some(w) = watermark {
+        // The no-acked-loss guarantee: recovery from the same generation
+        // must replay at least every record that was acked durable when
+        // the crash hit — the chopped tail held only never-acked records.
+        *acked_records_checked += w.durable_frames;
+        *acked_records_preserved &=
+            stats.generation == w.generation && stats.wal_records_replayed >= w.durable_frames;
+    }
+    Ok(())
+}
+
 /// Runs `plan` against a never-crashed control, persisting every node
 /// under `data_root/<node-name>`. The directory must be fresh.
 pub fn run_fault_plan(
     plan: &FaultPlan,
     data_root: &Path,
 ) -> Result<FaultPlanReport, codb_store::StoreError> {
-    run_fault_plan_impl(plan, data_root).map(|(report, _)| report)
+    run_fault_plan_impl(plan, data_root, None).map(|(report, _)| report)
+}
+
+/// [`run_fault_plan`] with a flight recorder attached to the experiment
+/// network (the control runs untraced): every net, protocol and store
+/// event of the faulted run — barrier holds and releases included —
+/// lands in `tracer` for postmortem inspection.
+pub fn run_fault_plan_traced(
+    plan: &FaultPlan,
+    data_root: &Path,
+    tracer: &codb_trace::Tracer,
+) -> Result<FaultPlanReport, codb_store::StoreError> {
+    run_fault_plan_impl(plan, data_root, Some(tracer)).map(|(report, _)| report)
 }
 
 /// The runner, also returning every experiment node's final state (name →
@@ -325,6 +535,7 @@ pub fn run_fault_plan(
 fn run_fault_plan_impl(
     plan: &FaultPlan,
     data_root: &Path,
+    tracer: Option<&codb_trace::Tracer>,
 ) -> Result<(FaultPlanReport, Vec<(String, codb_relational::Snapshot)>), codb_store::StoreError> {
     let config = plan.scenario.build_config();
 
@@ -344,20 +555,40 @@ fn run_fault_plan_impl(
     };
     let mut net = CoDbNetwork::build_with(config.clone(), sim_config, settings(plan.loss), false)
         .expect("scenario configs validate");
+    if let Some(t) = tracer {
+        net.attach_tracer(t);
+    }
     net.open_persistence_all(data_root, plan.sync, plan.codec)?;
 
     let mut crashes = 0usize;
+    let mut live_restarts = 0usize;
     let mut checkpoints = 0u64;
-    // A crash wipes the victim's in-memory statistics report, so rejoin
-    // messages it sent (its own announcements, or acks for an earlier
-    // crash's handshake) must be banked before the kill or the whole-run
-    // total silently undercounts on multi-crash schedules.
-    let mut rejoin_banked = 0u64;
+    // A crash wipes the victim's in-memory statistics report, so counters
+    // it accumulated (rejoin announcements, acks, barrier holds from an
+    // earlier crash's handshake) must be banked before the kill or the
+    // whole-run totals silently undercount on multi-crash schedules.
+    let mut banked = BankedCounters::default();
     // Seeded chop points for lose_unsynced_tail (deterministic per plan
     // seed, like everything else) and the no-acked-loss bookkeeping.
     let mut chop_rng = SmallRng::seed_from_u64(plan.seed ^ 0xC40F_7A11);
     let mut acked_records_checked = 0u64;
     let mut acked_records_preserved = true;
+    // Nodes currently down, with their banked crash watermark. A node
+    // whose plan schedules a later Restart fault stays here across round
+    // boundaries instead of being auto-restarted.
+    let mut down: std::collections::BTreeMap<NodeId, Option<AckedWatermark>> =
+        std::collections::BTreeMap::new();
+    // Remaining scheduled Restart faults per node, counted over the whole
+    // plan up front so each round's end knows whom to leave down.
+    let mut pending_restarts: std::collections::BTreeMap<NodeId, usize> =
+        std::collections::BTreeMap::new();
+    for round in &plan.rounds {
+        for fault in &round.faults {
+            if fault.kind == FaultKind::Restart {
+                *pending_restarts.entry(fault.node).or_default() += 1;
+            }
+        }
+    }
     for round in &plan.rounds {
         let round_start = net.sim().events_processed();
         net.sim_mut().inject(
@@ -367,9 +598,8 @@ fn run_fault_plan_impl(
         );
         // The generator schedules at most one crash per round, but the
         // plan fields are public and hand-written schedules are a
-        // supported use — so the runner tracks *every* node taken down
-        // this round and restarts them all.
-        let mut crashed: Vec<(NodeId, Option<AckedWatermark>)> = Vec::new();
+        // supported use — so the runner tracks *every* node taken down,
+        // this round or earlier, and restarts each exactly once.
         for fault in &round.faults {
             // Step the sim clock up to the fault's event offset (or until
             // the round quiesces first — a "late" fault, still applied).
@@ -379,16 +609,16 @@ fn run_fault_plan_impl(
             match fault.kind {
                 FaultKind::Crash => {
                     // kill_node returns None for a node already down
-                    // (e.g. duplicate crash entries), so the restart list
+                    // (e.g. duplicate crash entries), so the down map
                     // stays duplicate-free.
                     if let Some(w) = kill_node(
                         &mut net,
                         fault.node,
                         plan.lose_unsynced_tail,
                         &mut chop_rng,
-                        &mut rejoin_banked,
+                        &mut banked,
                     ) {
-                        crashed.push((fault.node, w));
+                        down.insert(fault.node, w);
                         crashes += 1;
                     }
                 }
@@ -404,14 +634,36 @@ fn run_fault_plan_impl(
                             nc.id,
                             plan.lose_unsynced_tail,
                             &mut chop_rng,
-                            &mut rejoin_banked,
+                            &mut banked,
                         ) {
-                            crashed.push((nc.id, w));
+                            down.insert(nc.id, w);
                             any = true;
                         }
                     }
                     if any {
                         crashes += 1;
+                    }
+                }
+                FaultKind::Restart => {
+                    // Live restart: the rejoin handshake (and the barrier
+                    // release + repair it triggers) runs interleaved with
+                    // whatever traffic the round still has in flight.
+                    if let Some(e) = pending_restarts.get_mut(&fault.node) {
+                        *e = e.saturating_sub(1);
+                    }
+                    if let Some(watermark) = down.remove(&fault.node) {
+                        restart_victim(
+                            &mut net,
+                            &config,
+                            plan,
+                            data_root,
+                            fault.node,
+                            watermark,
+                            true,
+                            &mut acked_records_checked,
+                            &mut acked_records_preserved,
+                        )?;
+                        live_restarts += 1;
                     }
                 }
                 FaultKind::Checkpoint => {
@@ -424,27 +676,35 @@ fn run_fault_plan_impl(
                 }
             }
         }
-        // Drain the round: survivors finish the update (abandoning
-        // retransmissions toward crashed nodes per the documented crash
-        // semantics).
+        // Drain the round: survivors run until nothing is in flight.
+        // Traffic toward still-crashed nodes exhausts its retransmission
+        // budget and — for update data and handshake envelopes — parks
+        // behind the rejoin barrier rather than being abandoned, so the
+        // round can quiesce with an update paused mid-flight.
         net.sim_mut().run_until_quiescent();
-        // Restart every crashed node before the next round; each restart
-        // runs the rejoin handshake to quiescence, so the next initiator
-        // (often one of these very nodes) starts from a repaired cache
-        // topology.
-        for (victim, watermark) in crashed {
-            let name = &config.nodes.iter().find(|n| n.id == victim).expect("configured").name;
-            let dir = CoDbNetwork::node_data_dir(data_root, name);
-            let stats = net.restart_node_from_disk(victim, &dir, plan.sync, plan.codec)?;
-            if let Some(w) = watermark {
-                // The no-acked-loss guarantee: recovery from the same
-                // generation must replay at least every record that was
-                // acked durable when the crash hit — the chopped tail
-                // held only never-acked records.
-                acked_records_checked += w.durable_frames;
-                acked_records_preserved &= stats.generation == w.generation
-                    && stats.wal_records_replayed >= w.durable_frames;
-            }
+        // Restart every node still down before the next round — except
+        // those a later Restart fault claims, which stay dead so their
+        // handshake lands mid-round. Each restart here runs the rejoin
+        // handshake to quiescence, so the next initiator (often one of
+        // these very nodes) starts from a repaired cache topology.
+        let due: Vec<NodeId> = down
+            .keys()
+            .copied()
+            .filter(|n| pending_restarts.get(n).copied().unwrap_or(0) == 0)
+            .collect();
+        for victim in due {
+            let watermark = down.remove(&victim).expect("picked from the map");
+            restart_victim(
+                &mut net,
+                &config,
+                plan,
+                data_root,
+                victim,
+                watermark,
+                false,
+                &mut acked_records_checked,
+                &mut acked_records_preserved,
+            )?;
         }
     }
 
@@ -474,15 +734,20 @@ fn run_fault_plan_impl(
     } else {
         nodes_isomorphic == nodes && factories_equal == nodes
     };
-    let rejoin_messages = rejoin_banked + crate::crash::rejoin_messages(&net);
+    let rejoin_messages = banked.rejoin + crate::crash::rejoin_messages(&net);
+    let (live_parked, live_released, live_repairs) = crate::crash::barrier_counters(&net);
 
     Ok((
         FaultPlanReport {
             seed: plan.seed,
             rounds: plan.rounds.len(),
             crashes,
+            live_restarts,
             checkpoints,
             rejoin_messages,
+            barrier_parked: banked.barrier_parked + live_parked,
+            barrier_released: banked.barrier_released + live_released,
+            repair_messages: banked.repairs + live_repairs,
             nodes_equal,
             nodes_isomorphic,
             factories_equal,
@@ -535,8 +800,9 @@ pub fn run_fault_plan_differential(
 ) -> Result<CodecDifferentialReport, codb_store::StoreError> {
     let json_plan = FaultPlan { codec: Codec::Json, ..plan.clone() };
     let binary_plan = FaultPlan { codec: Codec::Binary, ..plan.clone() };
-    let (json, json_states) = run_fault_plan_impl(&json_plan, &data_root.join("json"))?;
-    let (binary, binary_states) = run_fault_plan_impl(&binary_plan, &data_root.join("binary"))?;
+    let (json, json_states) = run_fault_plan_impl(&json_plan, &data_root.join("json"), None)?;
+    let (binary, binary_states) =
+        run_fault_plan_impl(&binary_plan, &data_root.join("binary"), None)?;
     let states_identical = json_states.len() == binary_states.len()
         && json_states
             .iter()
@@ -731,6 +997,64 @@ mod tests {
         assert!(report.converged, "{report:?}");
     }
 
+    /// Window (a) of the rejoin barrier, fixed-seed: under group commit
+    /// the victim crashes holding records it already applied and
+    /// forwarded downstream but never fsynced — the chopped WAL tail
+    /// destroys them, while survivors still hold them. The plan has **no
+    /// follow-up round**: round 1 is the only update, so the only way
+    /// the restarted victim can match the control is the `RejoinRepair`
+    /// push at barrier release. Before the barrier, this schedule left
+    /// the victim short (survivor traffic toward it was abandoned and
+    /// nothing re-sent until the next organic update — which never
+    /// comes here).
+    #[test]
+    fn forwarded_but_unsynced_records_repaired_at_barrier_release() {
+        let tmp = ScratchDir::new("faultplan-window-a");
+        let s = Scenario { tuples_per_node: 12, ..Scenario::quick(Topology::Chain(4)) };
+        let plan = FaultPlan {
+            scenario: s,
+            seed: 5,
+            loss: 0.0,
+            sync: SyncPolicy::GroupCommit { max_batch: 4, max_records: 32 },
+            lose_unsynced_tail: true,
+            codec: Codec::Binary,
+            rounds: vec![Round {
+                initiator: s.sink(),
+                faults: vec![Fault { at_event: 16, node: NodeId(1), kind: FaultKind::Crash }],
+            }],
+        };
+        let report = run_fault_plan(&plan, tmp.path()).unwrap();
+        assert_eq!(report.crashes, 1, "{report:?}");
+        assert!(report.barrier_parked > 0, "survivors held, not abandoned: {report:?}");
+        assert!(report.barrier_released > 0, "release fired at the handshake: {report:?}");
+        assert!(report.repair_messages > 0, "repair pushed at release: {report:?}");
+        assert!(report.acked_records_preserved, "{report:?}");
+        assert!(
+            report.converged,
+            "victim must be repaired AT barrier release, not at a later update: {report:?}"
+        );
+    }
+
+    /// The rolling-restart schedule, fixed-seed (window (b)): `v`
+    /// restarts while its neighbor `w` is still down, so `v`'s `Rejoin`
+    /// toward `w` exhausts retransmission and parks instead of being
+    /// abandoned; `w`'s own announcement a round later releases it and
+    /// both handshakes complete under sustained update load.
+    #[test]
+    fn rolling_restart_parks_the_handshake_and_reconverges() {
+        let tmp = ScratchDir::new("faultplan-rolling");
+        let s = Scenario { tuples_per_node: 10, ..Scenario::quick(Topology::Chain(5)) };
+        let plan = FaultPlan::rolling_restart(s, 9);
+        assert!(plan.lose_unsynced_tail);
+        let report = run_fault_plan(&plan, tmp.path()).unwrap();
+        assert_eq!(report.crashes, 2, "{report:?}");
+        assert_eq!(report.live_restarts, 2, "both victims came back mid-round: {report:?}");
+        assert!(report.barrier_parked > 0, "{report:?}");
+        assert!(report.barrier_released > 0, "{report:?}");
+        assert!(report.acked_records_preserved, "replay with seed {}: {report:?}", report.seed);
+        assert!(report.converged, "replay with seed {}: {report:?}", report.seed);
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig { cases: cases(6), ..ProptestConfig::default() })]
 
@@ -763,6 +1087,36 @@ mod tests {
             if report.crashes > 0 {
                 prop_assert!(report.rejoin_messages >= 2, "{report:?}");
             }
+        }
+
+        /// The overlapping-rejoin property: for arbitrary seeds and
+        /// topologies, a rejoin handshake that lands **mid-round** —
+        /// barrier release, repair push and the resumed paused update all
+        /// interleaved with live traffic — still reconverges the network
+        /// to the fault-free control with zero acked records lost.
+        #[test]
+        fn overlapping_rejoin_reconverges(
+            seed in any::<u64>(),
+            topology in arb_topology(),
+            rule_style in arb_style(),
+        ) {
+            let scenario = Scenario {
+                tuples_per_node: 8,
+                rule_style,
+                ..Scenario::quick(topology)
+            };
+            let tmp = ScratchDir::new("faultplan-overlap-prop");
+            let plan = FaultPlan::overlapping_rejoin(scenario, seed);
+            let report = run_fault_plan(&plan, tmp.path()).unwrap();
+            prop_assert!(
+                report.converged,
+                "NOT reconverged; replay: FaultPlan::overlapping_rejoin(Scenario {{ \
+                 tuples_per_node: 8, rule_style: {rule_style:?}, \
+                 ..Scenario::quick({topology:?}) }}, {seed}) → {report:?}"
+            );
+            prop_assert!(report.acked_records_preserved, "{report:?}");
+            prop_assert_eq!(report.crashes, 1, "the schedule's one crash landed");
+            prop_assert_eq!(report.live_restarts, 1, "the victim came back mid-round");
         }
 
         /// The group-commit durability property: for an arbitrary host

@@ -24,8 +24,8 @@ pub mod topology;
 pub use crash::{run_crash_restart, CrashRestartPlan, CrashRestartReport};
 pub use data_gen::{generate, generate_distinct, DataDist};
 pub use faultplan::{
-    run_fault_plan, run_fault_plan_differential, CodecDifferentialReport, Fault, FaultKind,
-    FaultPlan, FaultPlanReport, Round,
+    run_fault_plan, run_fault_plan_differential, run_fault_plan_traced, CodecDifferentialReport,
+    Fault, FaultKind, FaultPlan, FaultPlanReport, Round,
 };
 pub use scenario::{RuleStyle, Scenario};
 pub use simscale::{run_flood, run_flood_traced, FloodMsg, FloodPeer, FloodReport};

@@ -7,7 +7,7 @@
 //! sim-time stamps, multiple sealed blocks), then a synthetic coda emits
 //! every remaining [`TraceEvent`] variant with fixed values — phase
 //! markers included, with pinned `host_nanos` so the bytes never depend
-//! on wall time. Together the fixture covers all 18 event kinds.
+//! on wall time. Together the fixture covers all 20 event kinds.
 //!
 //! The byte-equality test is the drift tripwire: any change to the event
 //! tags, varint encoding, delta-timestamp scheme, block framing or the
@@ -77,6 +77,8 @@ fn build_golden_trace(path: &Path) -> Vec<u8> {
         TraceEvent::RejoinAnnounce { peer: 1, epoch: 3 },
         TraceEvent::RejoinRecv { peer: 0, from: 1, invalidated: 2 },
         TraceEvent::RejoinAck { peer: 1, from: 0, pending: 1 },
+        TraceEvent::BarrierHold { peer: 0, toward: 1, held: 2 },
+        TraceEvent::BarrierRelease { peer: 0, toward: 1, released: 2 },
         TraceEvent::WalAppend { store, bytes: 128 },
         TraceEvent::Fsync { store, nanos: 42_000 },
         TraceEvent::GroupDrain { stores: 2, records: 5, fsyncs: 1 },
@@ -139,6 +141,8 @@ fn golden_trace_fixture_decodes_to_pinned_meaning() {
         "RejoinAnnounce",
         "RejoinRecv",
         "RejoinAck",
+        "BarrierHold",
+        "BarrierRelease",
         "WalAppend",
         "Fsync",
         "GroupDrain",
