@@ -1,0 +1,50 @@
+//! Criterion bench for experiment e20: sustained-ingest throughput of
+//! the sharded threaded runtime — the same `CoDbNode` state machines the
+//! simulator schedules, multiplexed over bounded mailboxes by a worker
+//! pool, with the simulator fixpoint as the correctness bar on every
+//! iteration.
+
+use codb_workload::{
+    run_parallel_ingest, DataDist, ParallelIngestPlan, RuleStyle, Scenario, Topology,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn plan(workers: usize) -> ParallelIngestPlan {
+    ParallelIngestPlan {
+        scenario: Scenario {
+            topology: Topology::Chain(8),
+            tuples_per_node: 5,
+            rule_style: RuleStyle::CopyGav,
+            dist: DataDist::Uniform { domain: 1 << 40 },
+            seed: 0xE20,
+        },
+        workers,
+        mailbox_depth: 256,
+        inserts_per_node: 8,
+        rounds: 1,
+        seed: 0xE20,
+    }
+}
+
+/// E20: one ingest + update round on an 8-node chain per worker count.
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e20_parallel_ingest");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(5));
+    for workers in [1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::new("workers", workers), &workers, |b, &workers| {
+            b.iter(|| {
+                let report = run_parallel_ingest(&plan(workers));
+                assert_eq!(report.lost_updates, 0);
+                assert!(report.converged);
+                report.delivered
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,9 +1,11 @@
 //! Experiment runner: prints the tables of DESIGN.md §4.
 //!
-//! Usage: `cargo run -p codb-bench --release --bin exp -- [e1 … e19 | all]`
+//! Usage: `cargo run -p codb-bench --release --bin exp -- [e1 … e20 | all]`
 //!
 //! `e19-quick` runs the CI-sized E19 acceptance smoke (100 → 10k chain
-//! sweep plus scale-free and geo rows) instead of the full sweep.
+//! sweep plus scale-free and geo rows) instead of the full sweep;
+//! `e20-quick` runs the E20 acceptance smoke (two worker counts plus the
+//! host-crash durability row on the sharded threaded runtime).
 //!
 //! Extra modes:
 //! * `exp --quick` — a seconds-scale smoke run of the full harness
@@ -101,8 +103,8 @@ fn main() {
             .map(|id| {
                 by_id(id).unwrap_or_else(|| {
                     fail(&format!(
-                        "unknown experiment {id:?} (use e1..e19, e19-quick, all, --quick or \
-                         timeline)"
+                        "unknown experiment {id:?} (use e1..e20, e19-quick, e20-quick, all, \
+                         --quick or timeline)"
                     ))
                 })
             })

@@ -12,7 +12,7 @@ use crate::table::Table;
 use codb_core::{CoDbNetwork, NetworkConfig, NodeSettings, UpdateOutcome};
 use codb_net::{PipeConfig, SimConfig, SimTime};
 use codb_relational::{Instance, NullFactory, RuleFiring};
-use codb_workload::{DataDist, RuleStyle, Scenario, Topology};
+use codb_workload::{DataDist, ParallelIngestPlan, RuleStyle, Scenario, Topology};
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::{Duration, Instant};
 
@@ -1121,6 +1121,155 @@ fn e19_table() -> Table {
     )
 }
 
+/// One E20 cell: the sustained-ingest workload at a node/worker count.
+fn e20_plan(nodes: usize, workers: usize, inserts: usize, rounds: usize) -> ParallelIngestPlan {
+    ParallelIngestPlan {
+        scenario: Scenario {
+            topology: Topology::Chain(nodes),
+            tuples_per_node: 5,
+            rule_style: RuleStyle::CopyGav,
+            dist: DataDist::Uniform { domain: 1 << 40 },
+            seed: 0xE20,
+        },
+        workers,
+        mailbox_depth: 256,
+        inserts_per_node: inserts,
+        rounds,
+        seed: 0xE20,
+    }
+}
+
+fn e20_table() -> Table {
+    Table::new(
+        "E20 — sustained ingest on the sharded threaded runtime (chain, mailbox depth 256; \
+         every cell checked against the simulator fixpoint)",
+        &[
+            "nodes",
+            "workers",
+            "inserts",
+            "updates/s",
+            "speedup vs 1w",
+            "mailbox peak",
+            "undeliv",
+            "lost",
+            "host ms",
+        ],
+    )
+}
+
+/// Runs one E20 cell, asserts its correctness bars (zero lost updates,
+/// zero undeliverable messages, simulator-equal fixpoint) and appends the
+/// throughput row. `base` is the 1-worker updates/sec for the speedup
+/// column.
+fn e20_row(t: &mut Table, plan: &ParallelIngestPlan, base: Option<f64>) -> f64 {
+    let r = codb_workload::run_parallel_ingest(plan);
+    assert_eq!(r.lost_updates, 0, "E20: lost updates at {} nodes / {} workers", r.nodes, r.workers);
+    assert_eq!(
+        r.undeliverable, 0,
+        "E20: undeliverable at {} nodes / {} workers",
+        r.nodes, r.workers
+    );
+    assert!(r.converged, "E20: fixpoint diverged at {} nodes / {} workers", r.nodes, r.workers);
+    assert!(r.mailbox_peak <= plan.mailbox_depth, "E20: mailbox bound violated");
+    t.row(vec![
+        r.nodes.to_string(),
+        r.workers.to_string(),
+        r.inserts.to_string(),
+        format!("{:.0}", r.updates_per_sec),
+        base.map_or("-".into(), |b| format!("{:.2}x", r.updates_per_sec / b.max(1e-9))),
+        r.mailbox_peak.to_string(),
+        r.undeliverable.to_string(),
+        r.lost_updates.to_string(),
+        ms(r.elapsed),
+    ]);
+    r.updates_per_sec
+}
+
+/// E20 — sustained-ingest throughput of the sharded worker runtime:
+/// updates/sec over node count × worker count, every cell verified
+/// against the simulator's fixpoint (same `CoDbNode` state machines, same
+/// `IngestLocal` message plane) with zero lost updates and the bounded
+/// mailbox never exceeded. The worker-scaling acceptance bar (8 workers ≥
+/// 3× 1 worker on ≥16 nodes) is asserted only when the host actually has
+/// ≥4 cores — on smaller machines the sweep still runs and the
+/// correctness bars still hold, but a speedup assertion would measure the
+/// scheduler's oversubscription, not the runtime. The durability half —
+/// host crash under group commit with the unsynced WAL tails destroyed,
+/// zero acked updates lost — rides in `e20-quick` (CI) and the
+/// `codb_workload::parallel` tests.
+pub fn e20() -> Table {
+    let mut t = e20_table();
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    for nodes in [8usize, 16, 32, 64] {
+        let mut base = None;
+        let mut by_workers = Vec::new();
+        for workers in [1usize, 2, 4, 8] {
+            let ups = e20_row(&mut t, &e20_plan(nodes, workers, 10, 2), base);
+            if workers == 1 {
+                base = Some(ups);
+            }
+            by_workers.push((workers, ups));
+        }
+        if nodes >= 16 && cores >= 4 {
+            let one = by_workers[0].1;
+            let eight = by_workers[3].1;
+            assert!(
+                eight >= 3.0 * one,
+                "E20 acceptance: 8 workers must deliver >=3x 1-worker throughput on {nodes} \
+                 nodes ({eight:.0} vs {one:.0} updates/s)"
+            );
+        }
+    }
+    if cores < 4 {
+        t.row(vec![
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            format!("skipped ({cores} cores)"),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+        ]);
+    }
+    t
+}
+
+/// The E20 acceptance smoke (`exp e20-quick`, run in CI): a small grid
+/// covering two worker counts with the full correctness bars (zero lost
+/// updates, simulator-equal fixpoint, mailbox bound), plus the host-crash
+/// durability row — the pool killed without drain, every WAL's unsynced
+/// tail chopped, recovery must preserve every acked record.
+pub fn e20_quick() -> Table {
+    let mut t = e20_table();
+    let mut base = None;
+    for workers in [1usize, 2] {
+        let ups = e20_row(&mut t, &e20_plan(6, workers, 8, 2), base);
+        if workers == 1 {
+            base = Some(ups);
+        }
+    }
+    let crash_dir = codb_store::ScratchDir::new("e20-crash");
+    let report =
+        codb_workload::run_parallel_host_crash(&e20_plan(6, 2, 8, 2), crash_dir.path()).unwrap();
+    assert!(report.acked_records_checked > 0, "E20 host-crash check: {report:?}");
+    assert!(report.acked_records_preserved, "E20 host-crash check: {report:?}");
+    assert!(report.post_restart_quiesced, "E20 host-crash check: {report:?}");
+    t.row(vec![
+        "6 (host-crash)".into(),
+        "2".into(),
+        format!("{} acked checked", report.acked_records_checked),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        "0 (all preserved)".into(),
+        "-".into(),
+    ]);
+    t
+}
+
 /// Total bytes of `.snap` and `.wal` files in a store directory.
 fn dir_footprint(dir: &std::path::Path) -> (u64, u64) {
     let (mut snap, mut wal) = (0u64, 0u64);
@@ -1159,11 +1308,12 @@ pub fn all() -> Vec<Table> {
         e17(),
         e18(),
         e19(),
+        e20(),
     ]
 }
 
-/// Runs one experiment by id (`"e1"` … `"e19"`, plus `"e19-quick"` for
-/// the CI-sized acceptance smoke).
+/// Runs one experiment by id (`"e1"` … `"e20"`, plus `"e19-quick"` /
+/// `"e20-quick"` for the CI-sized acceptance smokes).
 pub fn by_id(id: &str) -> Option<Table> {
     match id {
         "e1" => Some(e1()),
@@ -1186,6 +1336,8 @@ pub fn by_id(id: &str) -> Option<Table> {
         "e18" => Some(e18()),
         "e19" => Some(e19()),
         "e19-quick" => Some(e19_quick()),
+        "e20" => Some(e20()),
+        "e20-quick" => Some(e20_quick()),
         _ => None,
     }
 }
@@ -1207,11 +1359,12 @@ mod tests {
 
     #[test]
     fn by_id_covers_all_ids() {
-        for i in 1..=19 {
+        for i in 1..=20 {
             assert!(by_id(&format!("e{i}")).is_some(), "e{i} missing");
         }
         assert!(by_id("e19-quick").is_some());
-        assert!(by_id("e20").is_none());
+        assert!(by_id("e20-quick").is_some());
+        assert!(by_id("e21").is_none());
     }
 
     #[test]

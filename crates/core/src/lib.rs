@@ -49,6 +49,7 @@ pub mod ids;
 pub mod messages;
 pub mod network;
 pub mod node;
+pub mod parnet;
 pub mod query;
 pub mod rejoin;
 pub mod reliable;
@@ -62,6 +63,7 @@ pub use ids::{NodeId, QueryId, ReqId, RuleName, UpdateId};
 pub use messages::{Body, Envelope};
 pub use network::{CoDbNetwork, QueryOutcome, UpdateOutcome, HARNESS_PEER};
 pub use node::{CoDbNode, NodeSettings};
+pub use parnet::{ParNetError, ParallelCoDbNet};
 pub use query::QueryResult;
 pub use rules::{link_graph_is_cyclic, rule_graph_is_cyclic, CoordinationRule, RuleBook};
 pub use stats::{NetworkReport, NodeReport, QueryReport, RuleTraffic, UpdateReport, UpdateSummary};

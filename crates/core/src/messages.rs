@@ -180,6 +180,17 @@ pub enum Body {
     /// (the demo UI's "start topology discovery"): refresh the node's view
     /// of advertised peers, acquaintances or not.
     TriggerDiscovery,
+    /// Insert a tuple into the receiving node's local database, exactly as
+    /// [`crate::node::CoDbNode::insert_local`] would. Exists so sustained
+    /// ingest flows through the message plane on *both* runtimes — under
+    /// the sharded threaded runtime node state lives on worker threads, so
+    /// the harness cannot call `insert_local` directly.
+    IngestLocal {
+        /// Target relation (must exist in the node's schema).
+        relation: String,
+        /// The tuple (arity-checked against the schema on arrival).
+        tuple: codb_relational::Tuple,
+    },
 }
 
 impl Body {
@@ -214,6 +225,7 @@ impl Body {
             | Body::CollectStats
             | Body::BroadcastRules
             | Body::TriggerDiscovery => 16,
+            Body::IngestLocal { relation, tuple } => 24 + relation.len() + tuple.size_bytes(),
         }
     }
 
@@ -282,6 +294,7 @@ impl Body {
             Body::CollectStats => "collect_stats",
             Body::BroadcastRules => "broadcast_rules",
             Body::TriggerDiscovery => "trigger_discovery",
+            Body::IngestLocal { .. } => "ingest_local",
         }
     }
 }

@@ -578,6 +578,13 @@ impl Peer<Envelope> for CoDbNode {
                 }
                 self.discovered.remove(&self.id);
             }
+            Body::IngestLocal { relation, tuple } => {
+                // Schema violations are the harness's bug, not a protocol
+                // condition; surface them in the per-kind stats.
+                if self.insert_local(&relation, tuple).is_err() {
+                    self.report.count_received("ingest_rejected");
+                }
+            }
         }
     }
 

@@ -9,9 +9,10 @@
 //!   per-pipe latency / bandwidth / loss model and a seeded RNG. All
 //!   experiments run here: message counts, propagation paths and relative
 //!   timings are functions of the protocol, and runs are reproducible.
-//! * [`parallel::ParallelNet`] — a threaded runtime (crossbeam channels,
-//!   one OS thread per peer) proving the same state machines survive real
-//!   asynchrony.
+//! * [`parallel::ParallelNet`] — a sharded threaded runtime (N worker
+//!   threads multiplexing M nodes over bounded mailboxes with
+//!   backpressure) proving the same state machines survive real asynchrony
+//!   and scale with cores.
 //!
 //! Peers implement [`peer::Peer`] and interact with either runtime through
 //! [`peer::Context`] commands only.
@@ -21,6 +22,7 @@
 pub mod builder;
 pub mod discovery;
 pub mod latency;
+mod mailbox;
 pub mod parallel;
 pub mod peer;
 pub mod pipe;
@@ -28,11 +30,12 @@ pub mod queue;
 pub mod sim;
 pub mod stats;
 pub mod time;
+mod worker;
 
 pub use builder::{EdgeSource, Edges, SimBuilder};
 pub use discovery::{AdKind, Advertisement, Board};
 pub use latency::{GeoPoint, LatencyModel};
-pub use parallel::ParallelNet;
+pub use parallel::{ParallelNet, RuntimeConfig};
 pub use peer::{Command, Context, Payload, Peer, PeerId};
 pub use pipe::PipeConfig;
 pub use queue::CalendarQueue;

@@ -1,52 +1,62 @@
 //! Threaded runtime: the same [`Peer`] state machines as the simulator, run
-//! on real OS threads with crossbeam channels.
+//! on a sharded worker pool.
 //!
-//! This runtime exists to demonstrate that the coDB node logic is not
-//! simulator-only: every peer runs on its own thread, sends are real
-//! cross-thread messages, and delivery order is whatever the scheduler
-//! produces. It deliberately omits the latency/bandwidth/loss model — it
-//! answers "does the protocol tolerate true asynchrony?", not "how long
-//! does it take on a given network?".
+//! N worker threads ([`RuntimeConfig::workers`]) multiplex M nodes: each
+//! node is pinned to one shard (round-robin at [`ParallelNet::add_peer`])
+//! and owns a **bounded** mailbox ([`RuntimeConfig::mailbox_depth`]). A full
+//! mailbox applies backpressure instead of dropping or growing without
+//! bound: harness [`ParallelNet::inject`] blocks until a slot frees, and a
+//! peer whose `Send` hits a full destination stalls — its commands stay
+//! parked, its drain slows to one message per visit, and it resumes when
+//! the destination pops (see the `worker` module source for the scheduling and
+//! deadlock-avoidance rules that keep stall cycles moving; should a wedge
+//! ever form anyway it is bounded to the involved nodes and surfaces as an
+//! [`ParallelNet::await_quiescence`] deadline miss rather than a hang).
+//!
+//! This runtime answers "does the protocol tolerate true asynchrony, and
+//! how fast can one host push it?" — it deliberately omits the
+//! latency/bandwidth/loss model of [`crate::sim::SimNet`]. Peer code runs
+//! unmodified under both.
 
-use crate::discovery::{Advertisement, Board};
-use crate::peer::{Command, Context, Payload, Peer, PeerId};
-use crate::time::SimTime;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crate::discovery::Advertisement;
+use crate::mailbox::Mailbox;
+use crate::peer::{Payload, Peer, PeerId};
+use crate::worker::{run_worker, Gate, NodeMeta, OpsQueue, ShardHandle, ShardOp, Shared};
 use parking_lot::RwLock;
-use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-enum Mail<M> {
-    Msg { from: PeerId, msg: M },
-    Shutdown,
+/// Tuning knobs for the sharded runtime.
+#[derive(Clone, Copy, Debug)]
+pub struct RuntimeConfig {
+    /// Worker threads (shards). `0` means one per available core.
+    pub workers: usize,
+    /// Per-node mailbox capacity; a full mailbox blocks/stalls senders.
+    pub mailbox_depth: usize,
+    /// Max messages drained per node per scheduling visit.
+    pub quantum: usize,
 }
 
-struct Shared<M> {
-    router: RwLock<HashMap<PeerId, Sender<Mail<M>>>>,
-    pipes: RwLock<HashSet<(PeerId, PeerId)>>,
-    board: RwLock<Board>,
-    /// Messages sent but not yet fully processed + timers pending.
-    in_flight: AtomicU64,
-    undeliverable: AtomicU64,
-    delivered: AtomicU64,
-    epoch: Instant,
-}
-
-impl<M> Shared<M> {
-    fn now(&self) -> SimTime {
-        SimTime(self.epoch.elapsed().as_nanos() as u64)
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig { workers: 0, mailbox_depth: 1024, quantum: 32 }
     }
 }
 
 /// The threaded runtime. Peers are added up front, work is injected, and
-/// [`ParallelNet::shutdown`] joins all threads and returns the
-/// final peer states for inspection.
+/// [`ParallelNet::shutdown`] stops the workers and returns the final peer
+/// states for inspection. Shutdown does **not** drain outstanding mail —
+/// call [`ParallelNet::await_quiescence`] first for a graceful stop, or
+/// skip it to model a host crash.
 pub struct ParallelNet<M: Payload, P: Peer<M> + 'static> {
     shared: Arc<Shared<M>>,
-    handles: BTreeMap<PeerId, JoinHandle<P>>,
+    ops: Vec<Arc<OpsQueue<M, P>>>,
+    workers: Vec<JoinHandle<Vec<(PeerId, P)>>>,
+    mailbox_depth: usize,
+    next_shard: usize,
 }
 
 impl<M: Payload, P: Peer<M> + 'static> Default for ParallelNet<M, P> {
@@ -56,20 +66,57 @@ impl<M: Payload, P: Peer<M> + 'static> Default for ParallelNet<M, P> {
 }
 
 impl<M: Payload, P: Peer<M> + 'static> ParallelNet<M, P> {
-    /// Creates an empty runtime.
+    /// Creates a runtime with default tuning.
     pub fn new() -> Self {
-        ParallelNet {
-            shared: Arc::new(Shared {
-                router: RwLock::new(HashMap::new()),
-                pipes: RwLock::new(HashSet::new()),
-                board: RwLock::new(Board::new()),
-                in_flight: AtomicU64::new(0),
-                undeliverable: AtomicU64::new(0),
-                delivered: AtomicU64::new(0),
-                epoch: Instant::now(),
-            }),
-            handles: BTreeMap::new(),
+        Self::with_config(RuntimeConfig::default())
+    }
+
+    /// Creates a runtime with explicit worker count, mailbox depth and
+    /// drain quantum.
+    pub fn with_config(config: RuntimeConfig) -> Self {
+        let workers = if config.workers == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            config.workers
         }
+        .max(1);
+        let schedulers: Vec<Arc<ShardHandle>> =
+            (0..workers).map(|_| Arc::new(ShardHandle::new())).collect();
+        let shared = Arc::new(Shared {
+            router: RwLock::new(HashMap::new()),
+            pipes: RwLock::new(HashSet::new()),
+            board: RwLock::new(crate::discovery::Board::new()),
+            gate: Gate::new(),
+            delivered: AtomicU64::new(0),
+            undeliverable: AtomicU64::new(0),
+            epoch: Instant::now(),
+            schedulers,
+            quantum: config.quantum.max(1),
+        });
+        let ops: Vec<Arc<OpsQueue<M, P>>> =
+            (0..workers).map(|_| Arc::new(OpsQueue::new())).collect();
+        let handles = (0..workers)
+            .map(|shard| {
+                let shared = Arc::clone(&shared);
+                let ops = Arc::clone(&ops[shard]);
+                std::thread::Builder::new()
+                    .name(format!("codb-shard-{shard}"))
+                    .spawn(move || run_worker(shard, shared, ops))
+                    .expect("spawn shard worker")
+            })
+            .collect();
+        ParallelNet {
+            shared,
+            ops,
+            workers: handles,
+            mailbox_depth: config.mailbox_depth.max(1),
+            next_shard: 0,
+        }
+    }
+
+    /// Number of shard workers.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
     }
 
     /// Opens a bidirectional pipe.
@@ -86,113 +133,105 @@ impl<M: Payload, P: Peer<M> + 'static> ParallelNet<M, P> {
         pipes.remove(&(b, a));
     }
 
-    /// Spawns `peer` on its own thread; `on_start` runs immediately there.
-    pub fn add_peer(&mut self, id: PeerId, mut peer: P) {
-        let (tx, rx): (Sender<Mail<M>>, Receiver<Mail<M>>) = unbounded();
-        self.shared.router.write().insert(id, tx);
-        let shared = Arc::clone(&self.shared);
-        let handle = std::thread::spawn(move || {
-            // (fire_at, timer-id) min-heap via Reverse ordering.
-            let mut timers: BinaryHeap<std::cmp::Reverse<(SimTime, u64)>> = BinaryHeap::new();
-            // on_start
-            let new_timers = {
-                let ads = shared.board.read().snapshot().to_vec();
-                let mut ctx = Context::new(id, shared.now(), &ads);
-                peer.on_start(&mut ctx);
-                let cmds = ctx.take_commands();
-                let mut pending = Vec::new();
-                apply(id, &shared, cmds, &mut |at, timer| pending.push((at, timer)));
-                pending
-            };
-            for (at, t) in new_timers {
-                timers.push(std::cmp::Reverse((at, t)));
-            }
-            loop {
-                // Fire due timers.
-                let now = shared.now();
-                let mut due = Vec::new();
-                while let Some(&std::cmp::Reverse((at, t))) = timers.peek() {
-                    if at <= now {
-                        timers.pop();
-                        due.push(t);
-                    } else {
-                        break;
-                    }
-                }
-                for t in due {
-                    let ads = shared.board.read().snapshot().to_vec();
-                    let mut ctx = Context::new(id, shared.now(), &ads);
-                    peer.on_timer(&mut ctx, t);
-                    let cmds = ctx.take_commands();
-                    let mut pending = Vec::new();
-                    apply(id, &shared, cmds, &mut |at, timer| pending.push((at, timer)));
-                    for (at, timer) in pending {
-                        timers.push(std::cmp::Reverse((at, timer)));
-                    }
-                    shared.in_flight.fetch_sub(1, Ordering::SeqCst);
-                }
-                // Wait for mail until the next timer (or 10ms).
-                let timeout = timers
-                    .peek()
-                    .map(|&std::cmp::Reverse((at, _))| {
-                        Duration::from_nanos(at.saturating_sub(shared.now()).as_nanos())
-                    })
-                    .unwrap_or(Duration::from_millis(10));
-                match rx.recv_timeout(timeout) {
-                    Ok(Mail::Msg { from, msg }) => {
-                        shared.delivered.fetch_add(1, Ordering::SeqCst);
-                        let ads = shared.board.read().snapshot().to_vec();
-                        let mut ctx = Context::new(id, shared.now(), &ads);
-                        peer.on_message(&mut ctx, from, msg);
-                        let cmds = ctx.take_commands();
-                        let mut pending = Vec::new();
-                        apply(id, &shared, cmds, &mut |at, timer| pending.push((at, timer)));
-                        for (at, timer) in pending {
-                            timers.push(std::cmp::Reverse((at, timer)));
-                        }
-                        shared.in_flight.fetch_sub(1, Ordering::SeqCst);
-                    }
-                    Ok(Mail::Shutdown) => break,
-                    Err(_) => { /* timeout: loop to fire timers */ }
-                }
-            }
-            peer
+    /// Registers `peer` on the next shard (round-robin); `on_start` runs on
+    /// the owning worker. If `id` was already registered, the previous peer
+    /// is retired first — its queued mail is settled as undeliverable, its
+    /// timers cancel — and its final state is returned, so a duplicate
+    /// registration can never orphan a live peer.
+    pub fn add_peer(&mut self, id: PeerId, peer: P) -> Option<P> {
+        let shard = self.next_shard;
+        self.next_shard = (self.next_shard + 1) % self.workers.len();
+        let meta = Arc::new(NodeMeta {
+            mailbox: Mailbox::new(self.mailbox_depth),
+            shard,
+            scheduled: AtomicBool::new(false),
         });
-        self.handles.insert(id, handle);
+        let previous = self.shared.router.write().insert(id, Arc::clone(&meta));
+        let retired = previous.and_then(|old| self.retire_on(old.shard, id));
+        self.ops[shard].push(ShardOp::Add { id, peer, meta });
+        self.shared.schedulers[shard].kick();
+        retired
+    }
+
+    /// Batch registration: every peer's mailbox is routable *before* the
+    /// first `on_start` runs, so start-time traffic between the new peers
+    /// (e.g. recovery handshakes) cannot race registration order and go
+    /// undeliverable. Duplicate ids are retired as in
+    /// [`ParallelNet::add_peer`]; their final states are returned.
+    pub fn add_peers(&mut self, peers: impl IntoIterator<Item = (PeerId, P)>) -> Vec<(PeerId, P)> {
+        let mut staged = Vec::new();
+        let mut retired = Vec::new();
+        for (id, peer) in peers {
+            let shard = self.next_shard;
+            self.next_shard = (self.next_shard + 1) % self.workers.len();
+            let meta = Arc::new(NodeMeta {
+                mailbox: Mailbox::new(self.mailbox_depth),
+                shard,
+                scheduled: AtomicBool::new(false),
+            });
+            let previous = self.shared.router.write().insert(id, Arc::clone(&meta));
+            if let Some(old) = previous {
+                if let Some(p) = self.retire_on(old.shard, id) {
+                    retired.push((id, p));
+                }
+            }
+            staged.push((shard, id, peer, meta));
+        }
+        for (shard, id, peer, meta) in staged {
+            self.ops[shard].push(ShardOp::Add { id, peer, meta });
+        }
+        for handle in &self.shared.schedulers {
+            handle.kick();
+        }
+        retired
+    }
+
+    /// Unregisters `id` and returns its final state: pipes close, queued
+    /// mail settles as undeliverable, pending timers cancel. Subsequent
+    /// sends to `id` are counted undeliverable without leaking in-flight
+    /// accounting.
+    pub fn remove_peer(&mut self, id: PeerId) -> Option<P> {
+        let meta = self.shared.router.write().remove(&id)?;
+        self.shared.pipes.write().retain(|(a, b)| *a != id && *b != id);
+        self.retire_on(meta.shard, id)
+    }
+
+    /// Synchronously retires `id` on its owning shard.
+    fn retire_on(&self, shard: usize, id: PeerId) -> Option<P> {
+        let (tx, rx) = std::sync::mpsc::sync_channel(1);
+        self.ops[shard].push(ShardOp::Retire { id, reply: tx });
+        self.shared.schedulers[shard].kick();
+        rx.recv().ok().flatten()
     }
 
     /// Injects a message from the harness; counts toward in-flight work.
+    /// Blocks while the destination mailbox is full (backpressure). A send
+    /// that loses a race with peer shutdown is decremented again and
+    /// counted undeliverable — in-flight accounting never leaks.
     pub fn inject(&self, from: PeerId, to: PeerId, msg: M) {
-        let router = self.shared.router.read();
-        if let Some(tx) = router.get(&to) {
-            self.shared.in_flight.fetch_add(1, Ordering::SeqCst);
-            let _ = tx.send(Mail::Msg { from, msg });
-        } else {
+        let meta = self.shared.router.read().get(&to).cloned();
+        let Some(meta) = meta else {
             self.shared.undeliverable.fetch_add(1, Ordering::SeqCst);
+            return;
+        };
+        self.shared.gate.inc(1);
+        match meta.mailbox.push_blocking(from, msg) {
+            Ok(()) => self.shared.schedule(&meta, to),
+            Err(_) => {
+                // Destination shut down while we were queued: undo the
+                // in-flight charge so quiescence still settles.
+                self.shared.gate.dec(1);
+                self.shared.undeliverable.fetch_add(1, Ordering::SeqCst);
+            }
         }
     }
 
-    /// Blocks until no message or timer has been in flight for
-    /// `settle` consecutive checks, or until `deadline` elapses.
-    /// Returns `true` on quiescence.
+    /// Blocks until no message, timer or parked command has been in flight
+    /// for a full `settle` window, or until `deadline` elapses. Returns
+    /// `true` on quiescence. Condvar-driven: woken when the in-flight count
+    /// reaches zero (and on renewed activity), not by polling.
     pub fn await_quiescence(&self, settle: Duration, deadline: Duration) -> bool {
-        let start = Instant::now();
-        let mut calm_since: Option<Instant> = None;
-        loop {
-            let busy = self.shared.in_flight.load(Ordering::SeqCst) > 0;
-            if busy {
-                calm_since = None;
-            } else {
-                let since = *calm_since.get_or_insert_with(Instant::now);
-                if since.elapsed() >= settle {
-                    return true;
-                }
-            }
-            if start.elapsed() > deadline {
-                return false;
-            }
-            std::thread::sleep(Duration::from_millis(1));
-        }
+        self.shared.gate.await_quiescence(settle, deadline)
     }
 
     /// Messages delivered so far.
@@ -200,9 +239,17 @@ impl<M: Payload, P: Peer<M> + 'static> ParallelNet<M, P> {
         self.shared.delivered.load(Ordering::SeqCst)
     }
 
-    /// Sends without an open pipe.
+    /// Sends that could not be delivered: no pipe, unknown or retired
+    /// destination, or mail abandoned by an abrupt shutdown.
     pub fn undeliverable(&self) -> u64 {
         self.shared.undeliverable.load(Ordering::SeqCst)
+    }
+
+    /// Highest mailbox depth observed on any currently-registered node —
+    /// never exceeds the configured `mailbox_depth` except transiently via
+    /// self-sends, which bypass the bound to avoid self-deadlock.
+    pub fn max_mailbox_depth(&self) -> usize {
+        self.shared.router.read().values().map(|m| m.mailbox.peak()).max().unwrap_or(0)
     }
 
     /// Publishes an advertisement from the harness.
@@ -210,67 +257,36 @@ impl<M: Payload, P: Peer<M> + 'static> ParallelNet<M, P> {
         self.shared.board.write().publish(ad);
     }
 
-    /// Stops every peer thread and returns the final peer states.
+    /// Stops every worker and returns the final peer states. Outstanding
+    /// mail is *not* drained (await quiescence first for a graceful stop);
+    /// it is settled as undeliverable so blocked injectors unblock.
     pub fn shutdown(mut self) -> BTreeMap<PeerId, P> {
-        {
-            let router = self.shared.router.read();
-            for tx in router.values() {
-                let _ = tx.send(Mail::Shutdown);
-            }
-        }
         let mut out = BTreeMap::new();
-        for (id, handle) in std::mem::take(&mut self.handles) {
-            if let Ok(peer) = handle.join() {
-                out.insert(id, peer);
+        for (id, peer) in self.stop_and_join() {
+            out.insert(id, peer);
+        }
+        out
+    }
+
+    fn stop_and_join(&mut self) -> Vec<(PeerId, P)> {
+        for handle in &self.shared.schedulers {
+            handle.stop();
+        }
+        let mut out = Vec::new();
+        for worker in std::mem::take(&mut self.workers) {
+            if let Ok(cells) = worker.join() {
+                out.extend(cells);
             }
         }
+        self.shared.router.write().clear();
         out
     }
 }
 
-/// Applies peer commands against the shared runtime state. Timer requests
-/// are reported back through `on_timer_set` because the per-peer timer heap
-/// lives on the peer thread.
-fn apply<M: Payload>(
-    origin: PeerId,
-    shared: &Shared<M>,
-    commands: Vec<Command<M>>,
-    on_timer_set: &mut dyn FnMut(SimTime, u64),
-) {
-    for cmd in commands {
-        match cmd {
-            Command::Send { to, msg } => {
-                let has_pipe = shared.pipes.read().contains(&(origin, to));
-                if !has_pipe {
-                    shared.undeliverable.fetch_add(1, Ordering::SeqCst);
-                    continue;
-                }
-                let router = shared.router.read();
-                match router.get(&to) {
-                    Some(tx) => {
-                        shared.in_flight.fetch_add(1, Ordering::SeqCst);
-                        let _ = tx.send(Mail::Msg { from: origin, msg });
-                    }
-                    None => {
-                        shared.undeliverable.fetch_add(1, Ordering::SeqCst);
-                    }
-                }
-            }
-            Command::SetTimer { delay, timer } => {
-                shared.in_flight.fetch_add(1, Ordering::SeqCst);
-                on_timer_set(shared.now() + delay, timer);
-            }
-            Command::OpenPipe { with, .. } => {
-                let mut pipes = shared.pipes.write();
-                pipes.insert((origin, with));
-                pipes.insert((with, origin));
-            }
-            Command::ClosePipe { with } => {
-                let mut pipes = shared.pipes.write();
-                pipes.remove(&(origin, with));
-                pipes.remove(&(with, origin));
-            }
-            Command::Advertise(ad) => shared.board.write().publish(ad),
+impl<M: Payload, P: Peer<M> + 'static> Drop for ParallelNet<M, P> {
+    fn drop(&mut self) {
+        if !self.workers.is_empty() {
+            drop(self.stop_and_join());
         }
     }
 }
@@ -278,6 +294,8 @@ fn apply<M: Payload>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::peer::Context;
+    use crate::time::SimTime;
 
     #[derive(Clone, Debug)]
     struct Token(u32);
@@ -299,6 +317,10 @@ mod tests {
                 ctx.send(self.next, Token(msg.0 - 1));
             }
         }
+    }
+
+    fn small(workers: usize, mailbox_depth: usize) -> RuntimeConfig {
+        RuntimeConfig { workers, mailbox_depth, quantum: 8 }
     }
 
     #[test]
@@ -348,5 +370,230 @@ mod tests {
         assert!(net.await_quiescence(Duration::from_millis(50), Duration::from_secs(5)));
         let peers = net.shutdown();
         assert!(peers[&PeerId(0)].fired);
+    }
+
+    /// Satellite regression: a send racing (or following) a peer shutdown
+    /// must decrement in-flight and count undeliverable, so quiescence
+    /// still settles instead of hanging on a leaked counter.
+    #[test]
+    fn send_to_removed_peer_settles() {
+        let mut net: ParallelNet<Token, Counter> = ParallelNet::with_config(small(2, 8));
+        net.add_peer(PeerId(0), Counter { next: PeerId(1), seen: 0 });
+        net.add_peer(PeerId(1), Counter { next: PeerId(0), seen: 0 });
+        net.open_pipe(PeerId(0), PeerId(1));
+        let removed = net.remove_peer(PeerId(1));
+        assert!(removed.is_some());
+        // Harness inject to the removed peer: unknown destination.
+        net.inject(PeerId(9), PeerId(1), Token(0));
+        // Peer-originated send to the removed peer: 0 forwards to 1.
+        net.open_pipe(PeerId(0), PeerId(1)); // re-open; removal closed it
+        net.inject(PeerId(9), PeerId(0), Token(1));
+        assert!(
+            net.await_quiescence(Duration::from_millis(50), Duration::from_secs(5)),
+            "undeliverable sends must not leak in-flight accounting"
+        );
+        assert_eq!(net.undeliverable(), 2);
+        let peers = net.shutdown();
+        assert_eq!(peers.len(), 1);
+        assert_eq!(peers[&PeerId(0)].seen, 1);
+    }
+
+    /// Satellite regression: duplicate `add_peer` retires the first peer
+    /// (returning its state) instead of silently orphaning it.
+    #[test]
+    fn duplicate_add_peer_retires_old() {
+        let mut net: ParallelNet<Token, Counter> = ParallelNet::with_config(small(2, 8));
+        // Fresh registration: nothing to retire.
+        assert!(net.add_peer(PeerId(0), Counter { next: PeerId(0), seen: 0 }).is_none());
+        assert!(net.add_peer(PeerId(7), Counter { next: PeerId(0), seen: 0 }).is_none());
+        net.inject(PeerId(9), PeerId(0), Token(0));
+        assert!(net.await_quiescence(Duration::from_millis(20), Duration::from_secs(5)));
+        // Duplicate registration: the old peer (seen=1) comes back.
+        let old = net.add_peer(PeerId(0), Counter { next: PeerId(0), seen: 100 });
+        assert_eq!(old.expect("old peer joined and returned").seen, 1);
+        // Traffic now reaches the replacement, and quiescence still works.
+        net.inject(PeerId(9), PeerId(0), Token(0));
+        assert!(net.await_quiescence(Duration::from_millis(20), Duration::from_secs(5)));
+        let peers = net.shutdown();
+        assert_eq!(peers.len(), 2);
+        assert_eq!(peers[&PeerId(0)].seen, 101);
+    }
+
+    /// Satellite regression (existing behavior): the settle window is kept
+    /// by the condvar-based gate — quiescence is not declared while a
+    /// pending timer holds in-flight work, and a too-short deadline fails.
+    #[test]
+    fn quiescence_keeps_settle_window() {
+        struct LateTimer;
+        impl Peer<Token> for LateTimer {
+            fn on_start(&mut self, ctx: &mut Context<Token>) {
+                ctx.set_timer(SimTime::from_millis(40), 1);
+            }
+            fn on_message(&mut self, _: &mut Context<Token>, _: PeerId, _: Token) {}
+        }
+        let mut net: ParallelNet<Token, LateTimer> = ParallelNet::with_config(small(1, 8));
+        net.add_peer(PeerId(0), LateTimer);
+        // Deadline shorter than the pending timer: must report busy.
+        assert!(!net.await_quiescence(Duration::from_millis(5), Duration::from_millis(10)));
+        let start = Instant::now();
+        assert!(net.await_quiescence(Duration::from_millis(20), Duration::from_secs(5)));
+        // True quiescence only after the timer fired AND a settle window
+        // passed on top (40ms was consumed partly by the first await).
+        assert!(start.elapsed() >= Duration::from_millis(20));
+        net.shutdown();
+    }
+
+    /// Acceptance: mailbox depth is a config knob and backpressure is real —
+    /// a slow consumer blocks `inject`, and the observed depth never
+    /// exceeds the bound.
+    #[test]
+    fn backpressure_bounds_mailbox_depth() {
+        struct Slow {
+            seen: u32,
+        }
+        impl Peer<Token> for Slow {
+            fn on_message(&mut self, _: &mut Context<Token>, _: PeerId, _: Token) {
+                self.seen += 1;
+                std::thread::sleep(Duration::from_millis(3));
+            }
+        }
+        let mut net: ParallelNet<Token, Slow> = ParallelNet::with_config(small(1, 2));
+        net.add_peer(PeerId(0), Slow { seen: 0 });
+        let start = Instant::now();
+        for _ in 0..8 {
+            net.inject(PeerId(9), PeerId(0), Token(0));
+        }
+        // 8 injects through a depth-2 mailbox at 3ms/message: the producer
+        // must have been throttled by consumption, not buffered ahead.
+        assert!(
+            start.elapsed() >= Duration::from_millis(12),
+            "inject returned too fast to have seen backpressure: {:?}",
+            start.elapsed()
+        );
+        assert!(net.await_quiescence(Duration::from_millis(30), Duration::from_secs(10)));
+        assert!(net.max_mailbox_depth() <= 2, "depth {} exceeded bound", net.max_mailbox_depth());
+        let peers = net.shutdown();
+        assert_eq!(peers[&PeerId(0)].seen, 8);
+    }
+
+    /// Worker-to-worker backpressure: a bursty producer stalls on the
+    /// consumer's full mailbox (parking its commands) and resumes as slots
+    /// free, with nothing lost — on one shard and across two.
+    #[test]
+    fn bursty_producer_stalls_and_resumes() {
+        struct Burst {
+            target: PeerId,
+        }
+        impl Peer<Token> for Burst {
+            fn on_message(&mut self, ctx: &mut Context<Token>, _: PeerId, msg: Token) {
+                for _ in 0..msg.0 {
+                    ctx.send(self.target, Token(0));
+                }
+            }
+        }
+        struct Sink {
+            seen: u32,
+        }
+        impl Peer<Token> for Sink {
+            fn on_message(&mut self, _: &mut Context<Token>, _: PeerId, _: Token) {
+                self.seen += 1;
+            }
+        }
+        enum Node {
+            Burst(Burst),
+            Sink(Sink),
+        }
+        impl Peer<Token> for Node {
+            fn on_message(&mut self, ctx: &mut Context<Token>, from: PeerId, msg: Token) {
+                match self {
+                    Node::Burst(b) => b.on_message(ctx, from, msg),
+                    Node::Sink(s) => s.on_message(ctx, from, msg),
+                }
+            }
+        }
+        for workers in [1, 2] {
+            let mut net: ParallelNet<Token, Node> = ParallelNet::with_config(small(workers, 4));
+            net.add_peer(PeerId(0), Node::Burst(Burst { target: PeerId(1) }));
+            net.add_peer(PeerId(1), Node::Sink(Sink { seen: 0 }));
+            net.open_pipe(PeerId(0), PeerId(1));
+            net.inject(PeerId(9), PeerId(0), Token(100));
+            assert!(
+                net.await_quiescence(Duration::from_millis(50), Duration::from_secs(10)),
+                "stalled burst must drain ({workers} workers)"
+            );
+            assert!(net.max_mailbox_depth() <= 4);
+            let peers = net.shutdown();
+            match &peers[&PeerId(1)] {
+                Node::Sink(s) => assert_eq!(s.seen, 100, "{workers} workers"),
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    /// Cyclic pressure: every ring member bursts more traffic than the
+    /// ring's total mailbox capacity. The stall/wake protocol must keep
+    /// making progress (each wake moves at least one message) and drain.
+    #[test]
+    fn cyclic_pressure_converges() {
+        struct RingBurst {
+            next: PeerId,
+            burst: u32,
+            seen: u32,
+        }
+        impl Peer<Token> for RingBurst {
+            fn on_start(&mut self, ctx: &mut Context<Token>) {
+                for _ in 0..self.burst {
+                    ctx.send(self.next, Token(20));
+                }
+            }
+            fn on_message(&mut self, ctx: &mut Context<Token>, _: PeerId, msg: Token) {
+                self.seen += 1;
+                if msg.0 > 0 {
+                    ctx.send(self.next, Token(msg.0 - 1));
+                }
+            }
+        }
+        let n = 6u64;
+        let burst = 10u32;
+        let mut net: ParallelNet<Token, RingBurst> =
+            ParallelNet::with_config(RuntimeConfig { workers: 2, mailbox_depth: 2, quantum: 4 });
+        for i in 0..n {
+            net.add_peer(PeerId(i), RingBurst { next: PeerId((i + 1) % n), burst, seen: 0 });
+        }
+        for i in 0..n {
+            net.open_pipe(PeerId(i), PeerId((i + 1) % n));
+        }
+        assert!(
+            net.await_quiescence(Duration::from_millis(100), Duration::from_secs(30)),
+            "cyclic backpressure must not wedge"
+        );
+        let peers = net.shutdown();
+        let total: u32 = peers.values().map(|p| p.seen).sum();
+        // Each of the n*burst tokens is delivered 21 times (TTL 20 + 1).
+        assert_eq!(total, n as u32 * burst * 21);
+    }
+
+    /// A peer sending to itself with a full mailbox must not deadlock on
+    /// its own bound: self-sends overflow instead of stalling.
+    #[test]
+    fn self_send_does_not_deadlock() {
+        struct Echo {
+            seen: u32,
+        }
+        impl Peer<Token> for Echo {
+            fn on_message(&mut self, ctx: &mut Context<Token>, _: PeerId, msg: Token) {
+                self.seen += 1;
+                if msg.0 > 0 {
+                    ctx.send(ctx.self_id(), Token(msg.0 - 1));
+                }
+            }
+        }
+        let mut net: ParallelNet<Token, Echo> = ParallelNet::with_config(small(1, 1));
+        net.add_peer(PeerId(0), Echo { seen: 0 });
+        net.open_pipe(PeerId(0), PeerId(0));
+        net.inject(PeerId(9), PeerId(0), Token(5));
+        assert!(net.await_quiescence(Duration::from_millis(30), Duration::from_secs(5)));
+        let peers = net.shutdown();
+        assert_eq!(peers[&PeerId(0)].seen, 6);
     }
 }

@@ -17,6 +17,7 @@
 pub mod crash;
 pub mod data_gen;
 pub mod faultplan;
+pub mod parallel;
 pub mod scenario;
 pub mod simscale;
 pub mod topology;
@@ -26,6 +27,10 @@ pub use data_gen::{generate, generate_distinct, DataDist};
 pub use faultplan::{
     run_fault_plan, run_fault_plan_differential, run_fault_plan_traced, CodecDifferentialReport,
     Fault, FaultKind, FaultPlan, FaultPlanReport, Round,
+};
+pub use parallel::{
+    run_parallel_host_crash, run_parallel_ingest, ParallelCrashReport, ParallelIngestPlan,
+    ParallelIngestReport,
 };
 pub use scenario::{RuleStyle, Scenario};
 pub use simscale::{run_flood, run_flood_traced, FloodMsg, FloodPeer, FloodReport};

@@ -1,8 +1,8 @@
 //! Cross-crate system tests: scenario-driven runs, the threaded runtime,
 //! statistics plumbing and dynamic reconfiguration under load.
 
-use codb::core::{Body, CoDbNode, Envelope, NodeSettings};
-use codb::net::ParallelNet;
+use codb::core::{Body, Envelope, ParallelCoDbNet};
+use codb::net::RuntimeConfig;
 use codb::prelude::*;
 use std::time::Duration;
 
@@ -64,8 +64,10 @@ fn all_topologies_run_to_the_expected_tuple_counts() {
 
 #[test]
 fn threaded_runtime_reaches_the_same_fixpoint() {
-    // The same CoDbNode state machines, on real OS threads with crossbeam
-    // channels instead of the simulator.
+    // The same CoDbNode state machines, scheduled by the sharded worker
+    // pool instead of the simulator. Two worker threads and a small
+    // mailbox exercise cross-shard sends and backpressure on the real
+    // protocol traffic.
     let scenario = Scenario {
         topology: Topology::Ring(4),
         tuples_per_node: 10,
@@ -79,34 +81,19 @@ fn threaded_runtime_reaches_the_same_fixpoint() {
     let mut sim_net = CoDbNetwork::build(config.clone(), SimConfig::default()).unwrap();
     sim_net.run_update(scenario.sink());
 
-    // Threaded run.
-    let mut par: ParallelNet<Envelope, CoDbNode> = ParallelNet::new();
-    for nc in &config.nodes {
-        let node = CoDbNode::new(
-            nc.id,
-            &nc.name,
-            nc.schema.clone(),
-            nc.data.clone(),
-            &config.rules,
-            NodeSettings::default(),
-        );
-        par.add_peer(nc.id.peer(), node);
-    }
-    for rule in &config.rules {
-        par.open_pipe(rule.source.peer(), rule.target.peer());
-    }
-    par.inject(
-        codb::core::HARNESS_PEER,
-        scenario.sink().peer(),
-        Envelope::control(Body::StartUpdate),
-    );
+    // Threaded run over the core builder: nodes open their own pipes
+    // from on_start, no manual pipe wiring.
+    let rt = RuntimeConfig { workers: 2, mailbox_depth: 64, quantum: 16 };
+    let par = ParallelCoDbNet::build(config.clone(), rt).unwrap();
+    par.start_update(scenario.sink());
     assert!(
         par.await_quiescence(Duration::from_millis(300), Duration::from_secs(30)),
         "threaded update must quiesce"
     );
-    let peers = par.shutdown();
+    assert_eq!(par.undeliverable(), 0, "protocol traffic must all deliver");
+    let nodes = par.shutdown();
     for nc in &config.nodes {
-        let threaded = &peers[&nc.id.peer()];
+        let threaded = &nodes[&nc.id];
         let expected = sim_net.node(nc.id).ldb();
         assert_eq!(
             threaded.ldb(),
